@@ -1,0 +1,48 @@
+//! Benchmarks of the two routing encoders: Algorithm 1 (approximate) vs
+//! full enumeration — the encode-time side of Table 3.
+
+use archex::encode::EncodeMode;
+use archex::explore::encode_only;
+use bench::data_collection_workload;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_data_collection");
+    g.sample_size(10);
+    for (total, end) in [(30usize, 8usize), (50, 20)] {
+        let w = data_collection_workload(total, end, "cost");
+        g.bench_with_input(
+            BenchmarkId::new("approx_k10", format!("{}n_{}e", total, end)),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    black_box(
+                        encode_only(
+                            &w.template,
+                            &w.library,
+                            &w.requirements,
+                            EncodeMode::Approx { kstar: 10 },
+                        )
+                        .expect("encodes"),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full", format!("{}n_{}e", total, end)),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    black_box(
+                        encode_only(&w.template, &w.library, &w.requirements, EncodeMode::Full)
+                            .expect("encodes"),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end exploration benchmark on a small data-collection workload
+//! (encode + solve + extract).
+
+use archex::explore::explore;
+use archex::ExploreOptions;
+use bench::data_collection_workload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_explore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_small");
+    g.sample_size(10);
+    let w = data_collection_workload(25, 6, "cost");
+    g.bench_function("approx_k5_25n_6e", |b| {
+        b.iter(|| {
+            black_box(
+                explore(
+                    &w.template,
+                    &w.library,
+                    &w.requirements,
+                    &ExploreOptions::approx(5),
+                )
+                .expect("explores"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

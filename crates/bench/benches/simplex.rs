@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the LP engine on structured instances.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use milp::{Problem, Row, Sense, Solver, Var, VarId, Config};
+
+/// Transportation LP: ns sources x nd sinks.
+fn transport(ns: usize, nd: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let x: Vec<Vec<VarId>> = (0..ns)
+        .map(|i| {
+            (0..nd)
+                .map(|j| {
+                    let cost = ((i * 7 + j * 13) % 17 + 1) as f64;
+                    p.add_var(Var::cont().bounds(0.0, f64::INFINITY).obj(cost))
+                })
+                .collect()
+        })
+        .collect();
+    for xi in &x {
+        let mut row = Row::new().le(nd as f64);
+        for &v in xi {
+            row = row.coef(v, 1.0);
+        }
+        p.add_row(row);
+    }
+    for j in 0..nd {
+        let mut row = Row::new().ge(ns as f64 * 0.8);
+        for xi in &x {
+            row = row.coef(xi[j], 1.0);
+        }
+        p.add_row(row);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_lp");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let p = transport(n, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| black_box(Solver::new(Config::default()).solve(black_box(&p))))
+        });
+    }
+    g.finish();
+}
+
+/// Small binary knapsack MILPs exercise branch and bound.
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knapsack_milp");
+    g.sample_size(10);
+    for n in [15usize, 25] {
+        let mut p = Problem::new(Sense::Maximize);
+        let mut row = Row::new().le((2 * n) as f64 * 0.6);
+        for i in 0..n {
+            let v = p.add_var(Var::binary().obj(1.0 + ((i * 31) % 11) as f64 / 3.0));
+            row = row.coef(v, 1.0 + ((i * 17) % 7) as f64 / 2.0);
+        }
+        p.add_row(row);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Solver::new(Config::default()).solve(black_box(&p))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of Yen's K-shortest-path routine (the engine of the
+//! paper's Algorithm 1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::generate::{grid, random_geometric};
+use netgraph::{k_shortest_paths, NodeId};
+use rand::prelude::*;
+
+fn bench_yen_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yen_grid_10x10");
+    let graph = grid(10, 10);
+    for k in [1usize, 5, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(k_shortest_paths(
+                    black_box(&graph),
+                    NodeId(0),
+                    NodeId(99),
+                    k,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_yen_geometric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yen_geometric_k10");
+    for n in [50usize, 150, 300] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (graph, _) = random_geometric(n, 100.0, 25.0, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(k_shortest_paths(
+                    black_box(&graph),
+                    NodeId(0),
+                    NodeId(n - 1),
+                    10,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_yen_grid, bench_yen_geometric);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs every table and figure experiment in sequence (the full paper
+//! reproduction). Equivalent to running `table1`..`table4` and `figure1`
+//! one after another; honors all their environment knobs.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    for bin in ["table1", "table2", "table3", "table4", "figure1"] {
+        println!("\n=== {} ===\n", bin);
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {}", bin, e));
+        if !status.success() {
+            eprintln!("{} exited with {}", bin, status);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! **Figure 1** — (a) the data-collection template (sensors, base station,
+//! candidate relay locations); (b) the generated data-collection topology;
+//! (c) evaluation points and generated anchor placement for the
+//! localization network. Written as SVG files under `out/`.
+//!
+//! Environment knobs: `F1_TOTAL`, `F1_END`, `F1_TL`; `SCALE=paper` uses the
+//! paper's 136-node / 35-sensor template and 150/135 localization grids.
+
+use archex::explore::explore;
+use archex::{design_to_svg, ExploreOptions};
+use bench::util::{env_time_limit, env_usize, paper_scale};
+use bench::{data_collection_workload, localization_workload};
+use floorplan::write_svg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("out")?;
+    let (dt, de) = if paper_scale() { (136, 35) } else { (70, 20) };
+    let total = env_usize("F1_TOTAL", dt);
+    let end = env_usize("F1_END", de);
+    let tl = env_time_limit("F1_TL", 240);
+
+    // --- (a) the template ---
+    let w = data_collection_workload(total, end, "cost");
+    std::fs::write("out/figure1a.svg", write_svg(&w.plan))?;
+    println!(
+        "figure1a: template with {} nodes ({} sensors) -> out/figure1a.svg",
+        w.template.num_nodes(),
+        end
+    );
+
+    // --- (b) the synthesized data-collection topology ---
+    let mut opts = ExploreOptions::approx(10);
+    opts.solver.time_limit = Some(tl);
+    opts.solver.rel_gap = 0.005;
+    let out = explore(&w.template, &w.library, &w.requirements, &opts)?;
+    match &out.design {
+        Some(d) => {
+            let svg = design_to_svg(
+                &w.plan,
+                &w.template,
+                d,
+                &w.library,
+                "Figure 1b: generated data-collection topology",
+            );
+            std::fs::write("out/figure1b.svg", svg)?;
+            println!(
+                "figure1b: {} nodes placed, ${:.0}, status {} -> out/figure1b.svg",
+                d.num_nodes(),
+                d.total_cost,
+                out.status
+            );
+        }
+        None => println!("figure1b: no design ({})", out.status),
+    }
+
+    // --- (c) localization anchors + evaluation points ---
+    let (ax, ay, ex, ey) = if paper_scale() {
+        (15, 10, 15, 9)
+    } else {
+        (8, 5, 7, 5)
+    };
+    let lw = localization_workload((ax, ay), (ex, ey), "cost + 0.001*dsod");
+    let mut lopts = ExploreOptions::approx(20);
+    lopts.solver.time_limit = Some(tl);
+    lopts.solver.rel_gap = 0.005;
+    let lout = explore(&lw.template, &lw.library, &lw.requirements, &lopts)?;
+    match &lout.design {
+        Some(d) => {
+            let svg = design_to_svg(
+                &lw.plan,
+                &lw.template,
+                d,
+                &lw.library,
+                "Figure 1c: evaluation points and generated anchor placement",
+            );
+            std::fs::write("out/figure1c.svg", svg)?;
+            println!(
+                "figure1c: {} anchors placed, ${:.0}, status {} -> out/figure1c.svg",
+                d.num_nodes(),
+                d.total_cost,
+                lout.status
+            );
+        }
+        None => println!("figure1c: no design ({})", lout.status),
+    }
+    Ok(())
+}

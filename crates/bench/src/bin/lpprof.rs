@@ -1,0 +1,104 @@
+//! LP micro-profiler: times the root LP of a data-collection encoding and
+//! its warm restarts, to locate solver hot spots.
+
+use archex::encode::{encode, EncodeMode};
+use bench::data_collection_workload;
+use milp::simplex::{solve_lp, LpData};
+use milp::{Config, Sense};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (total, end, k) = if args.len() == 3 {
+        (args[0], args[1], args[2])
+    } else {
+        (50, 20, 10)
+    };
+    let w = data_collection_workload(total, end, "cost");
+    let enc = encode(&w.template, &w.library, &w.requirements, EncodeMode::Approx { kstar: k })
+        .expect("encodes");
+    let p = enc.model.problem();
+    println!(
+        "problem: {} vars {} rows {} nnz",
+        p.num_vars(),
+        p.num_rows(),
+        p.num_nonzeros()
+    );
+    // presolve
+    let t0 = Instant::now();
+    let ps = milp::presolve::presolve(p, p.sense() == Sense::Minimize);
+    println!(
+        "presolve: {:?}  -> {} vars {} rows",
+        t0.elapsed(),
+        ps.reduced.num_vars(),
+        ps.reduced.num_rows()
+    );
+    let reduced = &ps.reduced;
+    let n = reduced.num_vars();
+    let lp = LpData {
+        a: reduced.matrix(),
+        c: reduced.objective(),
+        row_lb: reduced.row_ids().map(|r| reduced.row_bounds(r).0).collect(),
+        row_ub: reduced.row_ids().map(|r| reduced.row_bounds(r).1).collect(),
+    };
+    let lb: Vec<f64> = (0..n).map(|j| reduced.var_bounds(reduced.var_id(j)).0).collect();
+    let ub: Vec<f64> = (0..n).map(|j| reduced.var_bounds(reduced.var_id(j)).1).collect();
+    let cfg = Config::default();
+    let t1 = Instant::now();
+    let r = solve_lp(&lp, &lb, &ub, &cfg, None, None);
+    println!(
+        "root LP: {:?}  status {:?} obj {:.3} iters {}",
+        t1.elapsed(),
+        r.status,
+        r.obj,
+        r.iters
+    );
+    // warm restart with one integer bound change (mimic a branch)
+    let mut lb2 = lb.clone();
+    let mut ub2 = ub.clone();
+    let frac = (0..n).find(|&j| {
+        reduced.var_type(reduced.var_id(j)) != milp::VarType::Continuous
+            && (r.x[j] - r.x[j].round()).abs() > 1e-6
+    });
+    if let Some(j) = frac {
+        ub2[j] = r.x[j].floor();
+        let t2 = Instant::now();
+        let r2 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None);
+        println!(
+            "warm child LP (down-branch x{}): {:?}  status {:?} iters {}",
+            j,
+            t2.elapsed(),
+            r2.status,
+            r2.iters
+        );
+        lb2[j] = r.x[j].ceil();
+        ub2[j] = ub[j];
+        let t3 = Instant::now();
+        let r3 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None);
+        println!(
+            "warm child LP (up-branch x{}): {:?}  status {:?} iters {}",
+            j,
+            t3.elapsed(),
+            r3.status,
+            r3.iters
+        );
+        // 20 repeated warm solves for steady-state per-node cost
+        let t4 = Instant::now();
+        let mut iters = 0usize;
+        for _ in 0..20 {
+            let rr = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None);
+            iters += rr.iters;
+        }
+        println!(
+            "20 warm solves: {:?} total ({:?}/solve, {} iters)",
+            t4.elapsed(),
+            t4.elapsed() / 20,
+            iters
+        );
+    } else {
+        println!("root LP was integral; no branch to profile");
+    }
+}

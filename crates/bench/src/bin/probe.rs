@@ -1,0 +1,57 @@
+//! Scale probe: how big a workload can the home-grown MILP stack solve in
+//! reasonable time? Used to calibrate the table experiments.
+//!
+//! Usage: `cargo run --release -p bench --bin probe [total end k]`
+
+use archex::explore::{explore, ExploreOptions};
+use bench::data_collection_workload;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let cases: Vec<(usize, usize, usize)> = if args.len() == 3 {
+        vec![(args[0], args[1], args[2])]
+    } else {
+        vec![(20, 5, 5), (30, 8, 5), (50, 20, 10), (100, 20, 10)]
+    };
+    for (total, end, k) in cases {
+        let t0 = Instant::now();
+        let w = data_collection_workload(total, end, "cost");
+        let build = t0.elapsed();
+        let mut opts = ExploreOptions::approx(k).with_time_limit(Duration::from_secs(300));
+        if let Ok(g) = std::env::var("PROBE_GAP") {
+            opts.solver.rel_gap = g.parse().unwrap_or(1e-6);
+        }
+        let t1 = Instant::now();
+        match explore(&w.template, &w.library, &w.requirements, &opts) {
+            Ok(out) => {
+                let d = out.design.as_ref();
+                println!(
+                    "total={} end={} k={} | nodes_t={} links={} | vars={} cons={} bins={} | build={:?} encode={:?} solve={:?} | status={:?} cost={:?} placed={:?} bbnodes={} iters={}",
+                    total,
+                    end,
+                    k,
+                    w.template.num_nodes(),
+                    w.template.links().len(),
+                    out.stats.num_vars,
+                    out.stats.num_cons,
+                    out.stats.num_integers,
+                    build,
+                    out.stats.encode_time,
+                    out.stats.solve_time,
+                    out.status,
+                    d.map(|d| d.total_cost),
+                    d.map(|d| d.num_nodes()),
+                    out.stats.bb_nodes,
+                    out.stats.simplex_iters,
+                );
+            }
+            Err(e) => println!("total={} end={} k={} | encode error: {}", total, end, k, e),
+        }
+        let _ = t1;
+    }
+}
+// note: gap experiments are driven via env var PROBE_GAP

@@ -1,0 +1,99 @@
+//! **Table 2** — Final number of nodes, dollar cost, average number of
+//! reachable anchors, and solver time for a localization network optimized
+//! for different objectives.
+//!
+//! Paper reference (150 candidate positions, 135 evaluation points):
+//!
+//! ```text
+//! Objective   #Nodes  $cost  Reachable  Time(s)
+//! $ cost        28    1050      3.1       115
+//! DSOD          24    1310      3.6       121
+//! $ + DSOD      24    1180      3.03      144
+//! ```
+//!
+//! Environment knobs: `T2_AX`, `T2_AY` (anchor grid), `T2_EX`, `T2_EY`
+//! (evaluation grid), `T2_K`, `T2_TL`; `SCALE=paper` uses 15x10 anchors and
+//! 15x9 evaluation points.
+
+use archex::explore::explore;
+use archex::{ExploreOptions, Table};
+use bench::localization_workload;
+use bench::util::{env_time_limit, env_usize, paper_scale, time_cell};
+
+fn main() {
+    let (ax, ay, ex, ey) = if paper_scale() {
+        (15, 10, 15, 9)
+    } else {
+        (8, 5, 7, 5)
+    };
+    let ax = env_usize("T2_AX", ax);
+    let ay = env_usize("T2_AY", ay);
+    let ex = env_usize("T2_EX", ex);
+    let ey = env_usize("T2_EY", ey);
+    let k = env_usize("T2_K", 20);
+    let tl = env_time_limit("T2_TL", if paper_scale() { 900 } else { 240 });
+
+    println!(
+        "Reproducing Table 2 ({} anchor candidates, {} evaluation points, K* = {}, TL = {:?})\n",
+        ax * ay,
+        ex * ey,
+        k,
+        tl
+    );
+    let mut table = Table::new(
+        "Table 2: localization network optimized for different objectives",
+        &["Objective", "# Nodes", "$ cost", "Reachable", "Time (s)"],
+    );
+    // a tiny DSOD term breaks the anchor-grid symmetry of the pure-cost
+    // objective without changing its optimum (documented in EXPERIMENTS.md)
+    // our DSOD surrogate has no per-anchor pressure, so a small cost term
+    // keeps anchor counts bounded on the DSOD row (see EXPERIMENTS.md)
+    for (label, objective) in [
+        ("$ cost", "cost + 0.001*dsod"),
+        ("DSOD", "dsod + 0.002*cost"),
+        ("$ + DSOD", "dsod + 0.02*cost"),
+    ] {
+        let w = localization_workload((ax, ay), (ex, ey), objective);
+        let mut opts = ExploreOptions::approx(k);
+        opts.solver.time_limit = Some(tl);
+        opts.solver.rel_gap = 0.005;
+        match explore(&w.template, &w.library, &w.requirements, &opts) {
+            Ok(out) => match &out.design {
+                Some(d) => {
+                    table.row(&[
+                        label.to_string(),
+                        d.num_nodes().to_string(),
+                        format!("{:.0}", d.total_cost),
+                        d.avg_reachable()
+                            .map(|r| format!("{:.2}", r))
+                            .unwrap_or_else(|| "-".into()),
+                        time_cell(&out, tl),
+                    ]);
+                    eprintln!(
+                        "[{}] {} vars, {} cons, status {}",
+                        label, out.stats.num_vars, out.stats.num_cons, out.status
+                    );
+                }
+                None => table.row(&[
+                    label.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{}", out.status),
+                ]),
+            },
+            Err(e) => table.row(&[
+                label.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                e.to_string(),
+            ]),
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "\nPaper (150/135, CPLEX): $1050/28n/3.1/115s | $1310/24n/3.6/121s | $1180/24n/3.03/144s"
+    );
+    println!("Expected shape: DSOD pays more dollars for higher reachability; combined in between.");
+}

@@ -1,0 +1,14 @@
+//! Shared workload generators and helpers for the benchmark harness.
+//!
+//! Every table/figure binary builds its inputs through this crate so the
+//! experiments are reproducible and consistent: an office floor plan
+//! (mirroring Fig. 1's 80 m x 45 m building), multi-wall path loss, the
+//! ZigBee reference library, and the paper's specification patterns.
+
+pub mod util;
+pub mod workloads;
+
+pub use workloads::{
+    data_collection_spec, data_collection_workload, localization_spec, localization_workload,
+    DataCollection, Localization,
+};

@@ -1,0 +1,37 @@
+//! Wireless channel models for the network DSE stack: path loss (free
+//! space, log-distance, multi-wall), modulation BER curves, link budgets
+//! (RSS/SNR), and expected-transmission-count (ETX) envelopes.
+//!
+//! These supply the coefficients of the paper's link-quality constraints
+//! (2a)-(2b) and energy constraints (3a)-(3b).
+//!
+//! # Examples
+//!
+//! ```
+//! use channel::{LogDistance, MultiWall, PathLossModel, LinkBudget, Modulation};
+//! use floorplan::{FloorPlan, Point};
+//!
+//! let plan = FloorPlan::new(30.0, 10.0);
+//! let model = MultiWall::new(LogDistance::indoor_2_4ghz(), &plan);
+//! let pl = model.path_loss_db(Point::new(1.0, 5.0), Point::new(25.0, 5.0));
+//! let budget = LinkBudget {
+//!     tx_power_dbm: 0.0,
+//!     tx_gain_dbi: 0.0,
+//!     rx_gain_dbi: 0.0,
+//!     path_loss_db: pl,
+//!     noise_dbm: -100.0,
+//! };
+//! assert!(budget.snr_db() > 0.0);
+//! let etx = budget.etx(Modulation::Qpsk, 50 * 8);
+//! assert!(etx >= 1.0);
+//! ```
+
+pub mod link;
+pub mod modulation;
+pub mod pathloss;
+
+pub use link::{etx_convex_breakpoints, etx_from_snr, lower_convex_hull, LinkBudget, ETX_MAX};
+pub use modulation::{db_to_linear, erfc, linear_to_db, q_function, Modulation};
+pub use pathloss::{
+    reference_loss_db, LogDistance, MeasuredPathLoss, MultiWall, PathLossModel, Shadowed,
+};

@@ -1,0 +1,214 @@
+//! Link budgets: RSS, SNR, expected transmissions (ETX), and the convex
+//! piecewise-linear ETX envelope used by the MILP energy constraints.
+
+use crate::modulation::Modulation;
+
+/// Upper clamp for ETX: links worse than this are useless anyway.
+pub const ETX_MAX: f64 = 100.0;
+
+/// A point-to-point link budget.
+///
+/// Mirrors constraint (2a) of the paper:
+/// `RSS_ij = -PL_ij + tx_i + g_i + g_j` (our path loss is positive, so it
+/// enters with a minus sign).
+///
+/// # Examples
+///
+/// ```
+/// use channel::LinkBudget;
+///
+/// let lb = LinkBudget {
+///     tx_power_dbm: 0.0,
+///     tx_gain_dbi: 2.0,
+///     rx_gain_dbi: 2.0,
+///     path_loss_db: 80.0,
+///     noise_dbm: -100.0,
+/// };
+/// assert_eq!(lb.rss_dbm(), -76.0);
+/// assert_eq!(lb.snr_db(), 24.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Transmit power (dBm).
+    pub tx_power_dbm: f64,
+    /// Transmitter antenna gain (dBi).
+    pub tx_gain_dbi: f64,
+    /// Receiver antenna gain (dBi).
+    pub rx_gain_dbi: f64,
+    /// Path loss between the two nodes (dB, positive).
+    pub path_loss_db: f64,
+    /// Noise floor at the receiver (dBm), including interference margin.
+    pub noise_dbm: f64,
+}
+
+impl LinkBudget {
+    /// Received signal strength (dBm).
+    pub fn rss_dbm(&self) -> f64 {
+        self.tx_power_dbm + self.tx_gain_dbi + self.rx_gain_dbi - self.path_loss_db
+    }
+
+    /// Signal-to-noise ratio (dB).
+    pub fn snr_db(&self) -> f64 {
+        self.rss_dbm() - self.noise_dbm
+    }
+
+    /// Expected transmissions for a packet of `packet_bits` bits under
+    /// `modulation` (clamped to [`ETX_MAX`]).
+    pub fn etx(&self, modulation: Modulation, packet_bits: u32) -> f64 {
+        etx_from_snr(self.snr_db(), modulation, packet_bits)
+    }
+}
+
+/// Expected number of transmissions until a packet of `packet_bits` bits is
+/// received without error: `ETX = 1 / PSR`, clamped to [`ETX_MAX`].
+pub fn etx_from_snr(snr_db: f64, modulation: Modulation, packet_bits: u32) -> f64 {
+    let psr = modulation.packet_success(snr_db, packet_bits);
+    if psr <= 1.0 / ETX_MAX {
+        ETX_MAX
+    } else {
+        1.0 / psr
+    }
+}
+
+/// Samples `etx_from_snr` over `[snr_lo, snr_hi]` and returns the **lower
+/// convex hull** of the samples as breakpoints, suitable for
+/// `lpmodel::Model::pwl_convex_lower`.
+///
+/// Over the operating region enforced by the paper's link-quality
+/// constraints (SNR above a healthy threshold) the true curve is convex and
+/// the hull is exact; below threshold the hull under-approximates, which
+/// only matters for links the LQ constraints already exclude.
+///
+/// # Panics
+///
+/// Panics if `snr_hi <= snr_lo` or `samples < 2`.
+pub fn etx_convex_breakpoints(
+    modulation: Modulation,
+    packet_bits: u32,
+    snr_lo: f64,
+    snr_hi: f64,
+    samples: usize,
+) -> Vec<(f64, f64)> {
+    assert!(snr_hi > snr_lo && samples >= 2);
+    let pts: Vec<(f64, f64)> = (0..samples)
+        .map(|i| {
+            let s = snr_lo + (snr_hi - snr_lo) * i as f64 / (samples - 1) as f64;
+            (s, etx_from_snr(s, modulation, packet_bits))
+        })
+        .collect();
+    lower_convex_hull(&pts)
+}
+
+/// Lower convex hull of points sorted by x (Andrew's monotone chain, lower
+/// part only).
+pub fn lower_convex_hull(pts: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut hull: Vec<(f64, f64)> = Vec::new();
+    for &p in pts {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // keep turn right (convex from below): cross((b-a), (p-a)) <= 0 pops b
+            let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_arithmetic() {
+        let lb = LinkBudget {
+            tx_power_dbm: 4.0,
+            tx_gain_dbi: 1.0,
+            rx_gain_dbi: 3.0,
+            path_loss_db: 92.0,
+            noise_dbm: -100.0,
+        };
+        assert_eq!(lb.rss_dbm(), -84.0);
+        assert_eq!(lb.snr_db(), 16.0);
+    }
+
+    #[test]
+    fn etx_approaches_one_at_high_snr() {
+        let e = etx_from_snr(30.0, Modulation::Qpsk, 400);
+        assert!((e - 1.0).abs() < 1e-6, "etx = {}", e);
+    }
+
+    #[test]
+    fn etx_clamps_at_low_snr() {
+        assert_eq!(etx_from_snr(-20.0, Modulation::Qpsk, 400), ETX_MAX);
+    }
+
+    #[test]
+    fn etx_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for snr in [-5.0, 0.0, 3.0, 6.0, 9.0, 12.0, 15.0, 20.0] {
+            let e = etx_from_snr(snr, Modulation::Qpsk, 400);
+            assert!(e <= prev + 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn etx_longer_packets_cost_more() {
+        let short = etx_from_snr(8.0, Modulation::Qpsk, 100);
+        let long = etx_from_snr(8.0, Modulation::Qpsk, 1000);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn hull_of_convex_points_is_identity() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert_eq!(lower_convex_hull(&pts), pts);
+    }
+
+    #[test]
+    fn hull_removes_concave_points() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)];
+        let hull = lower_convex_hull(&pts);
+        assert_eq!(hull, vec![(0.0, 0.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    fn convex_breakpoints_are_convex_and_below_curve() {
+        let bp = etx_convex_breakpoints(Modulation::Qpsk, 400, 5.0, 30.0, 40);
+        assert!(bp.len() >= 2);
+        // slopes non-decreasing
+        let slopes: Vec<f64> = bp
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+            .collect();
+        for w in slopes.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "hull not convex: {:?}", slopes);
+        }
+        // hull interpolant never exceeds the true ETX at breakpoints
+        for &(s, e) in &bp {
+            let truth = etx_from_snr(s, Modulation::Qpsk, 400);
+            assert!(e <= truth + 1e-9);
+        }
+        // and is exact at the endpoints
+        assert!((bp[0].1 - etx_from_snr(5.0, Modulation::Qpsk, 400)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_etx_uses_snr() {
+        let lb = LinkBudget {
+            tx_power_dbm: 0.0,
+            tx_gain_dbi: 0.0,
+            rx_gain_dbi: 0.0,
+            path_loss_db: 70.0,
+            noise_dbm: -100.0,
+        };
+        // SNR = 30 dB: essentially perfect
+        assert!((lb.etx(Modulation::Qpsk, 400) - 1.0).abs() < 1e-6);
+    }
+}

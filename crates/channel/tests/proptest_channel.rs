@@ -1,0 +1,107 @@
+//! Property tests for the channel models.
+
+use channel::{
+    db_to_linear, etx_convex_breakpoints, etx_from_snr, linear_to_db, LinkBudget, LogDistance,
+    Modulation, MultiWall, PathLossModel, ETX_MAX,
+};
+use floorplan::{FloorPlan, Material, Point, Segment, Wall};
+use proptest::prelude::*;
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Fsk),
+        Just(Modulation::Ook),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn db_conversions_roundtrip(v in 0.001..1000.0f64) {
+        prop_assert!((db_to_linear(linear_to_db(v)) - v).abs() / v < 1e-10);
+    }
+
+    #[test]
+    fn ber_bounded_and_monotone(m in any_modulation(), snr in -20.0..40.0f64) {
+        let b1 = m.ber(snr);
+        let b2 = m.ber(snr + 1.0);
+        prop_assert!((0.0..=0.5).contains(&b1));
+        prop_assert!(b2 <= b1 + 1e-12);
+    }
+
+    #[test]
+    fn etx_bounded_monotone(m in any_modulation(), snr in -20.0..40.0f64, bits in 8u32..2000) {
+        let e1 = etx_from_snr(snr, m, bits);
+        let e2 = etx_from_snr(snr + 0.5, m, bits);
+        prop_assert!((1.0..=ETX_MAX).contains(&e1));
+        prop_assert!(e2 <= e1 + 1e-9);
+    }
+
+    #[test]
+    fn log_distance_monotone(d1 in 1.0..200.0f64, extra in 0.1..100.0f64, n in 1.5..4.5f64) {
+        let m = LogDistance::at_frequency(2.4e9, n);
+        let a = Point::new(0.0, 0.0);
+        let p1 = m.path_loss_db(a, Point::new(d1, 0.0));
+        let p2 = m.path_loss_db(a, Point::new(d1 + extra, 0.0));
+        prop_assert!(p2 >= p1);
+    }
+
+    #[test]
+    fn multiwall_dominates_base(walls in 1usize..6, y in 1.0..9.0f64) {
+        let mut plan = FloorPlan::new(100.0, 10.0);
+        for i in 0..walls {
+            let x = 10.0 + 12.0 * i as f64;
+            plan.add_wall(Wall {
+                segment: Segment::new(Point::new(x, 0.0), Point::new(x, 10.0)),
+                material: Material::Brick,
+            });
+        }
+        let base = LogDistance::indoor_2_4ghz();
+        let mw = MultiWall::new(base, &plan);
+        let a = Point::new(0.0, y);
+        let b = Point::new(99.0, y);
+        let expected = base.path_loss_db(a, b) + 8.0 * walls as f64;
+        prop_assert!((mw.path_loss_db(a, b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_linearity(tx in -10.0..20.0f64, g1 in 0.0..6.0f64, g2 in 0.0..6.0f64, pl in 40.0..120.0f64) {
+        let lb = LinkBudget {
+            tx_power_dbm: tx,
+            tx_gain_dbi: g1,
+            rx_gain_dbi: g2,
+            path_loss_db: pl,
+            noise_dbm: -100.0,
+        };
+        prop_assert!((lb.rss_dbm() - (tx + g1 + g2 - pl)).abs() < 1e-12);
+        prop_assert!((lb.snr_db() - (lb.rss_dbm() + 100.0)).abs() < 1e-12);
+        // extra gain never hurts
+        let better = LinkBudget { tx_gain_dbi: g1 + 1.0, ..lb };
+        prop_assert!(better.snr_db() > lb.snr_db());
+    }
+
+    #[test]
+    fn convex_breakpoints_underapproximate(
+        m in any_modulation(),
+        bits in 50u32..1000,
+        lo in -5.0..10.0f64,
+    ) {
+        let hi = lo + 30.0;
+        let bp = etx_convex_breakpoints(m, bits, lo, hi, 25);
+        prop_assert!(bp.len() >= 2);
+        // hull never exceeds the true curve at its own breakpoints
+        for &(s, e) in &bp {
+            prop_assert!(e <= etx_from_snr(s, m, bits) + 1e-9);
+        }
+        // slopes non-decreasing (convex)
+        let slopes: Vec<f64> = bp.windows(2)
+            .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+            .collect();
+        for w in slopes.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Objective assembly: weighted sums of cost, energy, and DSOD.
+
+use super::Encoding;
+use crate::requirements::Requirements;
+use crate::spec::ObjKind;
+use devlib::Library;
+use lpmodel::LinExpr;
+
+/// Scale factor turning the raw energy expression (mA·s per period) into an
+/// average-current figure (µA) so that dollar-cost and energy terms have
+/// comparable magnitudes under equal weights, as in the paper's combined
+/// objectives.
+pub fn energy_scale(req: &Requirements) -> f64 {
+    1000.0 / req.params.period_s
+}
+
+/// Builds the total component-cost expression.
+pub fn cost_expr(enc: &Encoding, library: &Library) -> LinExpr {
+    let mut cost = LinExpr::zero();
+    for vars in &enc.map_vars {
+        for &(k, m) in vars {
+            let c = library.get(k).expect("valid component index").cost;
+            if c != 0.0 {
+                cost.add_term(m, c);
+            }
+        }
+    }
+    cost
+}
+
+/// Sets the model objective from the requirement's weighted terms and
+/// stores the component expressions on the encoding for later reporting.
+pub fn encode_objective(enc: &mut Encoding, library: &Library, req: &Requirements) {
+    enc.cost_expr = cost_expr(enc, library);
+    let mut obj = LinExpr::zero();
+    for &(w, kind) in &req.objective {
+        let term = match kind {
+            ObjKind::Cost => enc.cost_expr.clone(),
+            ObjKind::Energy => enc.energy_expr.clone() * energy_scale(req),
+            ObjKind::Dsod => enc.dsod_expr.clone(),
+        };
+        obj += term * w;
+    }
+    enc.model.set_objective(obj);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::mapping::encode_mapping;
+    use crate::requirements::Requirements;
+    use crate::template::{NetworkTemplate, NodeRole};
+    use channel::LogDistance;
+    use devlib::catalog;
+    use floorplan::Point;
+    use milp::Config;
+
+    #[test]
+    fn cost_expression_counts_components() {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("sink", Point::new(10.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text("objective minimize cost").unwrap();
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        encode_objective(&mut enc, &lib, &req);
+        let sol = enc.model.solve(&Config::default());
+        assert!(sol.is_optimal());
+        // cheapest sink (80) + free sensor
+        assert!((sol.objective() - 80.0).abs() < 1e-6, "obj {}", sol.objective());
+        assert!((sol.eval(&enc.cost_expr) - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_scale_is_average_current() {
+        let req = Requirements::default();
+        // 30 s period: 1 mA*s per period = 1/30 mA avg = 33.3 uA
+        assert!((energy_scale(&req) - 1000.0 / 30.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,580 @@
+//! Routing constraint encoders: the exact formulation (1a)–(1e) and the
+//! approximate path encoding of **Algorithm 1**.
+
+use super::{CandidatePath, EncodeError, EncodedRoute, Encoding, RouteVars};
+use crate::requirements::Requirements;
+use crate::spec::Selector;
+use crate::template::{NetworkTemplate, NodeRole};
+use lpmodel::LinExpr;
+use netgraph::{k_shortest_paths_filtered, Bans, NodeId};
+use std::collections::HashMap;
+
+/// A resolved, concrete route requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcreteRoute {
+    /// Index into `Requirements::routes`.
+    pub family: usize,
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Disjointness group id (families joined by `disjoint_links`).
+    pub group: usize,
+}
+
+fn resolve_selector(
+    template: &NetworkTemplate,
+    sel: &Selector,
+    family: &str,
+) -> Result<Vec<usize>, EncodeError> {
+    let nodes = match sel {
+        Selector::Sensors => template.nodes_of(NodeRole::Sensor),
+        Selector::Relays => template.nodes_of(NodeRole::Relay),
+        Selector::Anchors => template.nodes_of(NodeRole::Anchor),
+        Selector::Sink => template.nodes_of(NodeRole::Sink),
+        Selector::Node(name) => match template.index_of(name) {
+            Some(i) => vec![i],
+            None => return Err(EncodeError::UnknownNode { name: name.clone() }),
+        },
+    };
+    if nodes.is_empty() {
+        return Err(EncodeError::EmptySelector {
+            family: family.to_string(),
+        });
+    }
+    Ok(nodes)
+}
+
+/// Resolves route families into concrete `(family, src, dst, group)`
+/// requirements. Families joined (transitively) by `disjoint_links` share a
+/// group id.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] for unknown nodes, empty selectors, or a
+/// destination selector matching more than one node.
+pub fn resolve_routes(
+    template: &NetworkTemplate,
+    req: &Requirements,
+) -> Result<Vec<ConcreteRoute>, EncodeError> {
+    // Union-find over families for the disjointness groups.
+    let nf = req.routes.len();
+    let mut parent: Vec<usize> = (0..nf).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for &(a, b) in &req.disjoint {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut out = Vec::new();
+    for (fi, fam) in req.routes.iter().enumerate() {
+        let sources = resolve_selector(template, &fam.from, &fam.name)?;
+        let dests = resolve_selector(template, &fam.to, &fam.name)?;
+        if dests.len() != 1 {
+            return Err(EncodeError::MissingDestination);
+        }
+        let dst = dests[0];
+        let group = find(&mut parent, fi);
+        for src in sources {
+            if src != dst {
+                out.push(ConcreteRoute {
+                    family: fi,
+                    src,
+                    dst,
+                    group,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes routing with **Algorithm 1** (approximate path encoding).
+///
+/// For every `(group, src, dst)` with `Nrep` required replicas:
+/// `BalanceDown` splits `K*` into `K = ceil(K*/Nrep)` candidates per
+/// replica; each replica runs Yen's K-shortest paths on the path-loss
+/// weighted template; a selector binary per candidate plus `sum s = 1`
+/// replaces constraints (1a)–(1c); `DisconnectMinDisjointPath` bans the
+/// least-disjoint candidate's edges between replica iterations so at least
+/// `Nrep` mutually disjoint candidates exist; an inter-replica `sum a <= 1`
+/// per shared edge enforces the disjointness requirement itself.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::NoCandidatePaths`] when Yen finds no admissible
+/// path for a required route (also when the hop bound filters all of them).
+pub fn encode_approx(
+    enc: &mut Encoding,
+    template: &NetworkTemplate,
+    req: &Requirements,
+    concrete: &[ConcreteRoute],
+    kstar: usize,
+) -> Result<(), EncodeError> {
+    let kstar = kstar.max(1);
+    let graph = template.graph();
+    // Map template edge -> graph EdgeId for banning.
+    let mut edge_id: HashMap<(usize, usize), usize> = HashMap::new();
+    for (eid, &(i, j)) in template.links().iter().enumerate() {
+        edge_id.insert((i, j), eid);
+    }
+
+    // Group replicas by (group, src, dst).
+    let mut groups: HashMap<(usize, usize, usize), Vec<&ConcreteRoute>> = HashMap::new();
+    for c in concrete {
+        groups.entry((c.group, c.src, c.dst)).or_default().push(c);
+    }
+    let mut keys: Vec<_> = groups.keys().copied().collect();
+    keys.sort_unstable();
+
+    for key in keys {
+        let members = &groups[&key];
+        let (_, src, dst) = key;
+        let nrep = members.len();
+        let k_per_rep = kstar.div_ceil(nrep);
+        let mut bans = Bans::none(&graph);
+        let mut replica_edge_used: Vec<HashMap<(usize, usize), lpmodel::Vid>> = Vec::new();
+
+        for (rep, route) in members.iter().enumerate() {
+            let fam = &req.routes[route.family];
+            let paths =
+                k_shortest_paths_filtered(&graph, NodeId(src), NodeId(dst), k_per_rep, &bans);
+            let paths: Vec<_> = paths
+                .into_iter()
+                .filter(|p| fam.max_hops.map_or(true, |h| p.len() <= h))
+                .collect();
+            if paths.is_empty() {
+                return Err(EncodeError::NoCandidatePaths { src, dst });
+            }
+            // Selector per candidate; exactly one candidate realizes the
+            // route (replaces (1a)-(1c): Yen guarantees validity).
+            let mut selector_sum = LinExpr::zero();
+            let mut candidates = Vec::with_capacity(paths.len());
+            let mut edge_to_selectors: HashMap<(usize, usize), Vec<lpmodel::Vid>> = HashMap::new();
+            for (kidx, p) in paths.iter().enumerate() {
+                let s = enc
+                    .model
+                    .binary(format!("s_{}_{}_{}_{}", fam.name, src, rep, kidx));
+                selector_sum.add_term(s, 1.0);
+                let nodes: Vec<usize> = p.nodes().iter().map(|n| n.index()).collect();
+                let edges: Vec<(usize, usize)> =
+                    nodes.windows(2).map(|w| (w[0], w[1])).collect();
+                for &e in &edges {
+                    edge_to_selectors.entry(e).or_default().push(s);
+                }
+                candidates.push(CandidatePath {
+                    selector: s,
+                    nodes,
+                    edges,
+                });
+            }
+            enc.model.add_named(
+                format!("route_{}_{}_{}", fam.name, src, rep),
+                selector_sum.eq(1.0),
+            );
+            // Edge-usage binaries a_e = sum of selectors through e, and
+            // linking to the global edge activations.
+            let mut edge_used = HashMap::new();
+            for (e, sels) in &edge_to_selectors {
+                let a = enc
+                    .model
+                    .binary(format!("a_{}_{}_{}_{}_{}", fam.name, src, rep, e.0, e.1));
+                let mut sum = LinExpr::term(a, -1.0);
+                for &s in sels {
+                    sum.add_term(s, 1.0);
+                }
+                enc.model.add(sum.eq(0.0));
+                let ev = enc.edge_var(e.0, e.1);
+                enc.model.add((LinExpr::from(a) - ev).leq(0.0));
+                edge_used.insert(*e, a);
+            }
+            replica_edge_used.push(edge_used.clone());
+            enc.routes.push(EncodedRoute {
+                family: route.family,
+                source: src,
+                dest: dst,
+                replica: rep,
+                vars: RouteVars::Approx {
+                    candidates,
+                    edge_used,
+                },
+            });
+
+            // DisconnectMinDisjointPath: ban the candidate sharing the most
+            // edges with the others, so the next replica iteration produces
+            // at least one fully independent path.
+            if rep + 1 < nrep {
+                let mut worst = 0usize;
+                let mut worst_score = -1i64;
+                for (i, p) in paths.iter().enumerate() {
+                    let score: i64 = paths
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, q)| p.shared_edges(q) as i64)
+                        .sum();
+                    if score > worst_score {
+                        worst_score = score;
+                        worst = i;
+                    }
+                }
+                for w in paths[worst].nodes().windows(2) {
+                    if let Some(&eid) = edge_id.get(&(w[0].index(), w[1].index())) {
+                        bans.edges[eid] = true;
+                    }
+                }
+            }
+        }
+
+        // Inter-replica link-disjointness: each edge may carry at most one
+        // replica of the group (the approximate form of constraint (1d)).
+        if nrep > 1 {
+            let mut all_edges: Vec<(usize, usize)> = replica_edge_used
+                .iter()
+                .flat_map(|m| m.keys().copied())
+                .collect();
+            all_edges.sort_unstable();
+            all_edges.dedup();
+            for e in all_edges {
+                let users: Vec<lpmodel::Vid> = replica_edge_used
+                    .iter()
+                    .filter_map(|m| m.get(&e).copied())
+                    .collect();
+                if users.len() >= 2 {
+                    let mut sum = LinExpr::zero();
+                    for v in users {
+                        sum.add_term(v, 1.0);
+                    }
+                    enc.model.add(sum.leq(1.0));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes routing exhaustively — the paper's exact constraints (1a)–(1e):
+/// one `α_ij` binary per (route, candidate link), flow balance, edge
+/// linking, loop-freedom degree bounds, pairwise disjointness, and hop
+/// limits.
+///
+/// # Errors
+///
+/// Currently infallible in practice, but shares the signature of
+/// [`encode_approx`] for symmetry; infeasibility (e.g. disconnected
+/// source) surfaces at solve time.
+pub fn encode_full(
+    enc: &mut Encoding,
+    template: &NetworkTemplate,
+    req: &Requirements,
+    concrete: &[ConcreteRoute],
+) -> Result<(), EncodeError> {
+    let n = template.num_nodes();
+    for (ridx, route) in concrete.iter().enumerate() {
+        let fam = &req.routes[route.family];
+        let mut alpha: HashMap<(usize, usize), lpmodel::Vid> = HashMap::new();
+        for &(i, j) in template.links() {
+            let a = enc
+                .model
+                .binary(format!("al_{}_{}_{}_{}", ridx, route.src, i, j));
+            // (1b) α <= e
+            let ev = enc.edge_var(i, j);
+            enc.model.add((LinExpr::from(a) - ev).leq(0.0));
+            alpha.insert((i, j), a);
+        }
+        // (1a) flow balance.
+        for v in 0..n {
+            let mut bal = LinExpr::zero();
+            for (&(i, j), &a) in &alpha {
+                if i == v {
+                    bal.add_term(a, 1.0);
+                }
+                if j == v {
+                    bal.add_term(a, -1.0);
+                }
+            }
+            let rhs = if v == route.src {
+                1.0
+            } else if v == route.dst {
+                -1.0
+            } else {
+                0.0
+            };
+            enc.model
+                .add_named(format!("bal_{}_{}", ridx, v), bal.eq(rhs));
+        }
+        // (1c) loop freedom: at most one successor and one predecessor.
+        for v in 0..n {
+            let mut outdeg = LinExpr::zero();
+            let mut indeg = LinExpr::zero();
+            for (&(i, j), &a) in &alpha {
+                if i == v {
+                    outdeg.add_term(a, 1.0);
+                }
+                if j == v {
+                    indeg.add_term(a, 1.0);
+                }
+            }
+            if outdeg.num_terms() > 0 {
+                enc.model.add(outdeg.leq(1.0));
+            }
+            if indeg.num_terms() > 0 {
+                enc.model.add(indeg.leq(1.0));
+            }
+        }
+        // (1e) hop bound.
+        if let Some(h) = fam.max_hops {
+            let mut total = LinExpr::zero();
+            for &a in alpha.values() {
+                total.add_term(a, 1.0);
+            }
+            enc.model.add(total.leq(h as f64));
+        }
+        enc.routes.push(EncodedRoute {
+            family: route.family,
+            source: route.src,
+            dest: route.dst,
+            replica: 0,
+            vars: RouteVars::Full { alpha },
+        });
+    }
+    // (1d) pairwise disjointness within groups sharing (src, dst).
+    for i in 0..concrete.len() {
+        for j in (i + 1)..concrete.len() {
+            let (a, b) = (&concrete[i], &concrete[j]);
+            if a.group == b.group && a.src == b.src && a.dst == b.dst {
+                let (ra, rb) = (&enc.routes[i], &enc.routes[j]);
+                let (RouteVars::Full { alpha: va }, RouteVars::Full { alpha: vb }) =
+                    (&ra.vars, &rb.vars)
+                else {
+                    continue;
+                };
+                let cons: Vec<_> = va
+                    .iter()
+                    .filter_map(|(e, &x)| vb.get(e).map(|&y| (x, y)))
+                    .collect();
+                for (x, y) in cons {
+                    enc.model.add((x + LinExpr::from(y)).leq(1.0));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::mapping::encode_mapping;
+    use crate::requirements::Requirements;
+    use channel::LogDistance;
+    use devlib::catalog;
+    use floorplan::Point;
+    use milp::Config;
+
+    /// s0 --- r0 --- r1
+    ///   \            \
+    ///    r2 --------- sink ; multiple disjoint routes exist
+    fn diamond_template() -> NetworkTemplate {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("r0", Point::new(10.0, 5.0), NodeRole::Relay);
+        t.add_node("r1", Point::new(20.0, 5.0), NodeRole::Relay);
+        t.add_node("r2", Point::new(10.0, -5.0), NodeRole::Relay);
+        t.add_node("r3", Point::new(20.0, -5.0), NodeRole::Relay);
+        t.add_node("sink", Point::new(30.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, -20.0);
+        t
+    }
+
+    fn basic_req(spec: &str) -> Requirements {
+        Requirements::from_spec_text(spec).unwrap()
+    }
+
+    #[test]
+    fn resolve_concrete_routes() {
+        let t = diamond_template();
+        let req = basic_req("p = has_path(sensors, sink)\nq = has_path(sensors, sink)\ndisjoint_links(p, q)");
+        let routes = resolve_routes(&t, &req).unwrap();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].src, 0);
+        assert_eq!(routes[0].dst, 5);
+        // same group because of disjoint_links
+        assert_eq!(routes[0].group, routes[1].group);
+    }
+
+    #[test]
+    fn resolve_unknown_node_errors() {
+        let t = diamond_template();
+        let req = basic_req("p = has_path(s9, sink)");
+        assert!(matches!(
+            resolve_routes(&t, &req),
+            Err(EncodeError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn approx_encoding_selects_one_candidate() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req("p = has_path(sensors, sink)");
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        let concrete = resolve_routes(&t, &req).unwrap();
+        encode_approx(&mut enc, &t, &req, &concrete, 5).unwrap();
+        assert_eq!(enc.routes.len(), 1);
+        let RouteVars::Approx { candidates, .. } = &enc.routes[0].vars else {
+            panic!("expected approx vars");
+        };
+        assert!(!candidates.is_empty() && candidates.len() <= 5);
+        // solve: minimize nothing -> must still pick exactly one candidate
+        let sol = enc.model.solve(&Config::default());
+        assert!(sol.has_solution());
+        let picked: f64 = candidates.iter().map(|c| sol.value(c.selector)).sum();
+        assert!((picked - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_disjoint_replicas_are_disjoint() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req(
+            "p = has_path(sensors, sink)\nq = has_path(sensors, sink)\ndisjoint_links(p, q)",
+        );
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        let concrete = resolve_routes(&t, &req).unwrap();
+        encode_approx(&mut enc, &t, &req, &concrete, 6).unwrap();
+        assert_eq!(enc.routes.len(), 2);
+        let sol = enc.model.solve(&Config::default());
+        assert!(sol.has_solution(), "status {:?}", sol.status());
+        // extract both selected paths and check edge disjointness
+        let mut edge_sets: Vec<std::collections::HashSet<(usize, usize)>> = Vec::new();
+        for r in &enc.routes {
+            let RouteVars::Approx { candidates, .. } = &r.vars else {
+                panic!()
+            };
+            let sel = candidates
+                .iter()
+                .find(|c| sol.is_one(c.selector))
+                .expect("one candidate selected");
+            edge_sets.push(sel.edges.iter().copied().collect());
+        }
+        assert!(edge_sets[0].is_disjoint(&edge_sets[1]));
+    }
+
+    #[test]
+    fn approx_hop_bound_filters_candidates() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req("p = has_path(sensors, sink)\nmax_hops(p, 2)");
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        let concrete = resolve_routes(&t, &req).unwrap();
+        encode_approx(&mut enc, &t, &req, &concrete, 10).unwrap();
+        let RouteVars::Approx { candidates, .. } = &enc.routes[0].vars else {
+            panic!()
+        };
+        for c in candidates {
+            assert!(c.edges.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn full_encoding_finds_route() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req("p = has_path(sensors, sink)");
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        let concrete = resolve_routes(&t, &req).unwrap();
+        encode_full(&mut enc, &t, &req, &concrete).unwrap();
+        let sol = enc.model.solve(&Config::default());
+        assert!(sol.has_solution());
+        let RouteVars::Full { alpha } = &enc.routes[0].vars else {
+            panic!()
+        };
+        // flow out of source must be exactly 1
+        let out: f64 = alpha
+            .iter()
+            .filter(|((i, _), _)| *i == 0)
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        assert!((out - 1.0).abs() < 1e-6);
+        // flow into sink must be exactly 1
+        let into: f64 = alpha
+            .iter()
+            .filter(|((_, j), _)| *j == 5)
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        assert!((into - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_encoding_disjointness() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req(
+            "p = has_path(sensors, sink)\nq = has_path(sensors, sink)\ndisjoint_links(p, q)",
+        );
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        let concrete = resolve_routes(&t, &req).unwrap();
+        encode_full(&mut enc, &t, &req, &concrete).unwrap();
+        let sol = enc.model.solve(&Config::default());
+        assert!(sol.has_solution());
+        // no edge used by both routes
+        let RouteVars::Full { alpha: a0 } = &enc.routes[0].vars else {
+            panic!()
+        };
+        let RouteVars::Full { alpha: a1 } = &enc.routes[1].vars else {
+            panic!()
+        };
+        for (e, &v0) in a0 {
+            if let Some(&v1) = a1.get(e) {
+                assert!(sol.value(v0) + sol.value(v1) < 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn full_encoding_is_larger_than_approx() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req("p = has_path(sensors, sink)");
+        let concrete = resolve_routes(&t, &req).unwrap();
+
+        let mut e1 = encode_mapping(&t, &lib).unwrap();
+        encode_approx(&mut e1, &t, &req, &concrete, 3).unwrap();
+        let mut e2 = encode_mapping(&t, &lib).unwrap();
+        encode_full(&mut e2, &t, &req, &concrete).unwrap();
+        assert!(
+            e2.model.num_cons() > e1.model.num_cons(),
+            "full {} <= approx {}",
+            e2.model.num_cons(),
+            e1.model.num_cons()
+        );
+    }
+
+    #[test]
+    fn no_candidates_when_disconnected() {
+        // sensor too far for any link under a strict SNR threshold
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("sink", Point::new(500.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, 20.0);
+        let lib = catalog::zigbee_reference();
+        let req = basic_req("p = has_path(sensors, sink)");
+        let mut enc = encode_mapping(&t, &lib).unwrap();
+        let concrete = resolve_routes(&t, &req).unwrap();
+        assert!(matches!(
+            encode_approx(&mut enc, &t, &req, &concrete, 5),
+            Err(EncodeError::NoCandidatePaths { .. })
+        ));
+    }
+}

@@ -1,0 +1,290 @@
+//! The end-to-end exploration driver: encode, solve, extract, verify.
+
+use crate::design::{extract_design, NetworkDesign};
+use crate::encode::link_quality::LqEncoding;
+use crate::encode::{encode_with_lq, EncodeError, EncodeMode};
+use crate::requirements::Requirements;
+use crate::template::NetworkTemplate;
+use devlib::Library;
+use milp::Status;
+use std::time::{Duration, Instant};
+
+/// Options for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Routing encoding mode.
+    pub mode: EncodeMode,
+    /// Link-quality linearization (default: tight pair conflicts).
+    pub lq_encoding: LqEncoding,
+    /// MILP solver configuration.
+    pub solver: milp::Config,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            mode: EncodeMode::Approx { kstar: 10 },
+            lq_encoding: LqEncoding::default(),
+            solver: milp::Config::default(),
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Approximate encoding with `kstar` candidates.
+    pub fn approx(kstar: usize) -> Self {
+        ExploreOptions {
+            mode: EncodeMode::Approx { kstar },
+            ..Default::default()
+        }
+    }
+
+    /// Exhaustive encoding.
+    pub fn full() -> Self {
+        ExploreOptions {
+            mode: EncodeMode::Full,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the solver time limit.
+    pub fn with_time_limit(mut self, d: Duration) -> Self {
+        self.solver.time_limit = Some(d);
+        self
+    }
+}
+
+/// Size and timing statistics of one exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Model variables.
+    pub num_vars: usize,
+    /// Model constraints.
+    pub num_cons: usize,
+    /// Structural nonzeros.
+    pub num_nonzeros: usize,
+    /// Binary/integer variables.
+    pub num_integers: usize,
+    /// Time spent building the encoding.
+    pub encode_time: Duration,
+    /// Time spent in the solver.
+    pub solve_time: Duration,
+    /// Branch-and-bound nodes.
+    pub bb_nodes: usize,
+    /// Total simplex iterations.
+    pub simplex_iters: usize,
+    /// Relative MIP gap of the returned solution (0 when proven optimal,
+    /// `f64::INFINITY` when no incumbent exists).
+    pub gap: f64,
+}
+
+/// The result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Final solver status.
+    pub status: Status,
+    /// The synthesized design (when a solution exists).
+    pub design: Option<NetworkDesign>,
+    /// Statistics.
+    pub stats: ExploreStats,
+}
+
+impl ExploreOutcome {
+    /// Whether the exploration produced a usable design.
+    pub fn has_design(&self) -> bool {
+        self.design.is_some()
+    }
+}
+
+/// Runs the full pipeline: encode with the chosen mode, solve, extract.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] for inconsistent inputs; solver-level
+/// infeasibility is reported through [`ExploreOutcome::status`] instead.
+pub fn explore(
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+    opts: &ExploreOptions,
+) -> Result<ExploreOutcome, EncodeError> {
+    let t0 = Instant::now();
+    let enc = encode_with_lq(template, library, req, opts.mode, opts.lq_encoding)?;
+    let encode_time = t0.elapsed();
+    let mut stats = ExploreStats {
+        num_vars: enc.model.num_vars(),
+        num_cons: enc.model.num_cons(),
+        num_nonzeros: enc.model.num_nonzeros(),
+        num_integers: enc.model.num_integers(),
+        encode_time,
+        ..Default::default()
+    };
+    let t1 = Instant::now();
+    let sol = enc.model.solve(&opts.solver);
+    stats.solve_time = t1.elapsed();
+    stats.bb_nodes = sol.stats().nodes;
+    stats.simplex_iters = sol.stats().simplex_iters;
+    stats.gap = sol.gap();
+    let design = if sol.has_solution() {
+        Some(extract_design(&enc, &sol, template, library, req))
+    } else {
+        None
+    };
+    Ok(ExploreOutcome {
+        status: sol.status(),
+        design,
+        stats,
+    })
+}
+
+/// Builds the encoding only and reports its size — used for the Table 3
+/// complexity comparisons where solving the full enumeration would time
+/// out.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] for inconsistent inputs.
+pub fn encode_only(
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+    mode: EncodeMode,
+) -> Result<ExploreStats, EncodeError> {
+    let t0 = Instant::now();
+    let enc = encode_with_lq(template, library, req, mode, LqEncoding::default())?;
+    Ok(ExploreStats {
+        num_vars: enc.model.num_vars(),
+        num_cons: enc.model.num_cons(),
+        num_nonzeros: enc.model.num_nonzeros(),
+        num_integers: enc.model.num_integers(),
+        encode_time: t0.elapsed(),
+        ..Default::default()
+    })
+}
+
+/// Analytic size estimate of the **full-enumeration** encoding, without
+/// building it (needed at paper scale, where materializing the model would
+/// exhaust memory — the paper, too, reports estimated counts "~" for its
+/// larger instances).
+///
+/// Counts per required route: flow balance (n rows), `α <= e` (|links|),
+/// degree bounds (2n), plus link-quality indicator rows per link, sizing
+/// rows per node, and the energy machinery per (route, link) and
+/// (node, component).
+pub fn full_encoding_size_estimate(
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+    num_routes: usize,
+) -> (usize, usize) {
+    let n = template.num_nodes();
+    let l = template.links().len();
+    let comps_per_node: usize = template
+        .nodes()
+        .iter()
+        .map(|nd| library.of_kind(nd.role.device_kind()).count())
+        .sum::<usize>()
+        / n.max(1);
+    // variables: alpha per route per link + e + u + m + etx + gates
+    let energy = crate::encode::energy::energy_needed(req);
+    let mut vars = num_routes * l + l + n + n * comps_per_node;
+    // constraints: per route (1a)+(1b)+(1c) = n + l + 2n ; edge linking 2l;
+    // sizing n; LQ l
+    let mut cons = num_routes * (3 * n + l) + 2 * l + n + l;
+    if energy {
+        // ETX var + segments per link, route-edge gates (1 var 4 rows),
+        // node-component gates (3 each)
+        let segs = 8;
+        vars += l + num_routes * l + n * comps_per_node * 3;
+        cons += l * segs + num_routes * l * 4 + n * comps_per_node * 3 * 4 + n;
+    }
+    (vars, cons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::verify_design;
+    use crate::template::NodeRole;
+    use channel::LogDistance;
+    use devlib::catalog;
+    use floorplan::Point;
+
+    fn template(relays: usize) -> NetworkTemplate {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        for i in 0..relays {
+            let x = 10.0 + 10.0 * (i / 2) as f64;
+            let y = if i % 2 == 0 { 6.0 } else { -6.0 };
+            t.add_node(format!("r{}", i), Point::new(x, y), NodeRole::Relay);
+        }
+        t.add_node("sink", Point::new(40.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, 10.0);
+        t
+    }
+
+    const SPEC: &str =
+        "p = has_path(sensors, sink)\nmin_signal_to_noise(12)\nobjective minimize cost";
+
+    #[test]
+    fn explore_end_to_end() {
+        let t = template(6);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        let out = explore(&t, &lib, &req, &ExploreOptions::approx(5)).unwrap();
+        assert_eq!(out.status, Status::Optimal);
+        let d = out.design.expect("design exists");
+        assert!(verify_design(&d, &t, &lib, &req).is_empty());
+        assert!(out.stats.num_cons > 0);
+        assert!(out.stats.solve_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn infeasible_reported_not_panicked() {
+        let t = template(2);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nmin_signal_to_noise(80)",
+        )
+        .unwrap();
+        let out = explore(&t, &lib, &req, &ExploreOptions::approx(5)).unwrap();
+        assert_eq!(out.status, Status::Infeasible);
+        assert!(!out.has_design());
+    }
+
+    #[test]
+    fn encode_only_measures_sizes() {
+        let t = template(6);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        let approx = encode_only(&t, &lib, &req, EncodeMode::Approx { kstar: 5 }).unwrap();
+        let full = encode_only(&t, &lib, &req, EncodeMode::Full).unwrap();
+        assert!(full.num_cons > approx.num_cons);
+        assert!(full.num_vars > approx.num_vars);
+    }
+
+    #[test]
+    fn size_estimate_tracks_reality() {
+        let t = template(8);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        let real = encode_only(&t, &lib, &req, EncodeMode::Full).unwrap();
+        let (est_vars, est_cons) = full_encoding_size_estimate(&t, &lib, &req, 1);
+        // estimate within 2x of reality on small instances
+        let ratio_v = est_vars as f64 / real.num_vars as f64;
+        let ratio_c = est_cons as f64 / real.num_cons as f64;
+        assert!(
+            (0.4..2.5).contains(&ratio_v),
+            "vars: est {} real {}",
+            est_vars,
+            real.num_vars
+        );
+        assert!(
+            (0.4..2.5).contains(&ratio_c),
+            "cons: est {} real {}",
+            est_cons,
+            real.num_cons
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Plain-text table rendering and figure export for experiment reports.
+
+use crate::design::NetworkDesign;
+use crate::template::{NetworkTemplate, NodeRole};
+use devlib::Library;
+use floorplan::{FloorPlan, MarkerKind, TopologyImage};
+
+/// A fixed-width text table (used by the benchmark binaries to print the
+/// paper's tables).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        s.push_str(&self.title);
+        s.push('\n');
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        s.push_str(&sep);
+        s.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            (0..ncol)
+                .map(|i| format!(" {:width$} ", cells[i], width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        s.push_str(&fmt_row(&self.headers));
+        s.push('\n');
+        s.push_str(&sep);
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&fmt_row(r));
+            s.push('\n');
+        }
+        s.push_str(&sep);
+        s.push('\n');
+        s
+    }
+}
+
+/// Renders a human-readable summary of a synthesized design: per-role node
+/// counts, selected components, routes, and the verified metrics.
+pub fn design_summary(
+    design: &NetworkDesign,
+    template: &NetworkTemplate,
+    library: &Library,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "design: {} nodes placed, total cost ${:.0}",
+        design.num_nodes(),
+        design.total_cost
+    );
+    let mut by_comp: std::collections::BTreeMap<&str, usize> = Default::default();
+    for p in &design.placed {
+        if let Some(c) = library.get(p.component) {
+            *by_comp.entry(c.name.as_str()).or_insert(0) += 1;
+        }
+    }
+    for (name, count) in by_comp {
+        let _ = writeln!(s, "  {:>3} x {}", count, name);
+    }
+    if let Some(y) = design.min_lifetime_years() {
+        let _ = writeln!(
+            s,
+            "lifetime: min {:.2} y, avg {:.2} y over {} battery nodes",
+            y,
+            design.avg_lifetime_years().unwrap_or(y),
+            design.lifetimes_years.len()
+        );
+    }
+    if let Some(r) = design.avg_reachable() {
+        let _ = writeln!(
+            s,
+            "coverage: avg {:.2} anchors per evaluation point (min {})",
+            r,
+            design.coverage.iter().min().copied().unwrap_or(0)
+        );
+    }
+    for route in &design.routes {
+        let names: Vec<&str> = route
+            .nodes
+            .iter()
+            .map(|&i| template.nodes()[i].name.as_str())
+            .collect();
+        let _ = writeln!(
+            s,
+            "route[{} #{}]: {}",
+            route.family,
+            route.replica,
+            names.join(" -> ")
+        );
+    }
+    s
+}
+
+/// Renders a synthesized design over its floor plan as an SVG figure
+/// (regenerates the panels of the paper's Figure 1).
+pub fn design_to_svg(
+    plan: &FloorPlan,
+    template: &NetworkTemplate,
+    design: &NetworkDesign,
+    library: &Library,
+    title: &str,
+) -> String {
+    let mut img = TopologyImage::new(plan).with_title(title);
+    for r in &design.routes {
+        for (i, j) in r.edges() {
+            img.add_link(
+                template.nodes()[i].position,
+                template.nodes()[j].position,
+                "#2a7f3f",
+            );
+        }
+    }
+    for p in &design.placed {
+        let node = &template.nodes()[p.node];
+        let kind = match node.role {
+            NodeRole::Sensor => MarkerKind::Sensor,
+            NodeRole::Relay => MarkerKind::Relay,
+            NodeRole::Sink => MarkerKind::Sink,
+            NodeRole::Anchor => MarkerKind::Anchor,
+        };
+        let label = library
+            .get(p.component)
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
+        // label only non-sensor nodes to keep the figure readable
+        let label = if node.role == NodeRole::Sensor {
+            String::new()
+        } else {
+            label
+        };
+        img.add_node(node.position, kind, label);
+    }
+    img.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Table X: demo", &["Objective", "# Nodes", "Time (s)"]);
+        t.row(&["$ cost".into(), "61".into(), "45".into()]);
+        t.row(&["Energy".into(), "63".into(), "260".into()]);
+        let s = t.render();
+        assert!(s.contains("Table X: demo"));
+        assert!(s.contains("Objective"));
+        assert!(s.contains("$ cost"));
+        // all data lines have the same length
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{:?}", lens);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn design_summary_lists_everything() {
+        use crate::design::{DesignNode, DesignRoute, NetworkDesign};
+        use crate::template::NetworkTemplate;
+        use channel::LogDistance;
+        use devlib::catalog;
+        use floorplan::Point;
+
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("r0", Point::new(10.0, 0.0), NodeRole::Relay);
+        t.add_node("sink", Point::new(20.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        let lib = catalog::zigbee_reference();
+        let design = NetworkDesign {
+            placed: vec![
+                DesignNode { node: 0, component: lib.index_of("sensor-std").unwrap() },
+                DesignNode { node: 1, component: lib.index_of("relay-basic").unwrap() },
+                DesignNode { node: 2, component: lib.index_of("sink-std").unwrap() },
+            ],
+            total_cost: 100.0,
+            lifetimes_years: vec![(0, 12.5), (1, 8.0)],
+            routes: vec![DesignRoute {
+                family: 0,
+                source: 0,
+                dest: 2,
+                replica: 0,
+                nodes: vec![0, 1, 2],
+            }],
+            ..Default::default()
+        };
+        let s = design_summary(&design, &t, &lib);
+        assert!(s.contains("3 nodes placed"));
+        assert!(s.contains("$100"));
+        assert!(s.contains("relay-basic"));
+        assert!(s.contains("min 8.00 y"));
+        assert!(s.contains("s0 -> r0 -> sink"));
+        assert!(!s.contains("coverage")); // no localization data
+    }
+
+    #[test]
+    fn design_svg_contains_routes_and_nodes() {
+        use crate::template::NetworkTemplate;
+        use crate::design::{DesignNode, DesignRoute, NetworkDesign};
+        use channel::LogDistance;
+        use devlib::catalog;
+        use floorplan::Point;
+
+        let plan = FloorPlan::new(50.0, 20.0);
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(5.0, 5.0), NodeRole::Sensor);
+        t.add_node("r0", Point::new(25.0, 10.0), NodeRole::Relay);
+        t.add_node("sink", Point::new(45.0, 15.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        let lib = catalog::zigbee_reference();
+        let design = NetworkDesign {
+            placed: vec![
+                DesignNode { node: 0, component: lib.index_of("sensor-std").unwrap() },
+                DesignNode { node: 1, component: lib.index_of("relay-mid").unwrap() },
+                DesignNode { node: 2, component: lib.index_of("sink-std").unwrap() },
+            ],
+            edges: vec![(0, 1), (1, 2)],
+            routes: vec![DesignRoute {
+                family: 0,
+                source: 0,
+                dest: 2,
+                replica: 0,
+                nodes: vec![0, 1, 2],
+            }],
+            ..Default::default()
+        };
+        let svg = design_to_svg(&plan, &t, &design, &lib, "Figure 1b");
+        assert!(svg.contains("Figure 1b"));
+        assert!(svg.contains("relay-mid")); // relay labeled
+        assert!(!svg.contains("sensor-std")); // sensors unlabeled
+        assert!(svg.matches("<line").count() >= 2); // the two route links
+    }
+}

@@ -1,0 +1,506 @@
+//! Typed system requirements assembled from parsed specification patterns.
+
+use crate::spec::{ObjKind, Selector, SetValue, Stmt};
+use channel::Modulation;
+use std::collections::HashMap;
+
+/// Medium-access protocol family, selecting the energy model of (3a)–(3b).
+///
+/// The paper's evaluation uses collision-free TDMA; §2 notes that "similar
+/// constraints can be used ... for contention-based protocols", which
+/// [`Protocol::Csma`] implements: low-power-listening receivers duty-cycle
+/// the radio instead of sleeping between slots, and transmissions carry a
+/// backoff/preamble overhead factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Collision-free TDMA (the paper's setup).
+    #[default]
+    Tdma,
+    /// Contention-based CSMA with low-power listening.
+    Csma,
+}
+
+impl Protocol {
+    /// Parses a protocol from its (case-insensitive) name.
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        match name.to_ascii_lowercase().as_str() {
+            "tdma" => Some(Protocol::Tdma),
+            "csma" | "csma_ca" => Some(Protocol::Csma),
+            _ => None,
+        }
+    }
+}
+
+/// Channel, protocol, and battery parameters (the non-pattern part of the
+/// problem description). Defaults mirror the paper's data-collection setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Background noise / interference floor (dBm).
+    pub noise_dbm: f64,
+    /// Carrier frequency (Hz).
+    pub freq_hz: f64,
+    /// Path-loss exponent of the log-distance base model.
+    pub pl_exponent: f64,
+    /// Modulation scheme.
+    pub modulation: Modulation,
+    /// Link bit rate (bit/s).
+    pub bit_rate_bps: f64,
+    /// TDMA slot duration (ms).
+    pub slot_ms: f64,
+    /// Slots per superframe.
+    pub slots_per_frame: usize,
+    /// Application payload size (bytes).
+    pub packet_bytes: u32,
+    /// Sensing/reporting period (s): each sensor sends one packet per
+    /// period.
+    pub period_s: f64,
+    /// Battery capacity (mAh) — the paper's 2 x 1.5 V AA 1500 mAh pack is
+    /// modeled as its total charge.
+    pub battery_mah: f64,
+    /// Medium-access protocol (selects the energy model).
+    pub protocol: Protocol,
+    /// CSMA only: fraction of the period the radio idles in receive mode
+    /// (low-power listening duty cycle).
+    pub duty_cycle: f64,
+    /// CSMA only: relative transmission overhead for backoff/preambles.
+    pub csma_backoff: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            noise_dbm: -100.0,
+            freq_hz: 2.4e9,
+            pl_exponent: 2.8,
+            modulation: Modulation::Qpsk,
+            bit_rate_bps: 250_000.0,
+            slot_ms: 1.0,
+            slots_per_frame: 16,
+            packet_bytes: 50,
+            period_s: 30.0,
+            battery_mah: 3000.0,
+            protocol: Protocol::Tdma,
+            duty_cycle: 0.01,
+            csma_backoff: 0.25,
+        }
+    }
+}
+
+impl Params {
+    /// Packet length in bits.
+    pub fn packet_bits(&self) -> u32 {
+        self.packet_bytes * 8
+    }
+
+    /// Battery charge in mA·s.
+    pub fn battery_mas(&self) -> f64 {
+        self.battery_mah * 3600.0
+    }
+
+    /// Applies one `set key = value` statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or ill-typed values.
+    pub fn apply_set(&mut self, key: &str, value: &SetValue) -> Result<(), String> {
+        let num = |v: &SetValue| -> Result<f64, String> {
+            match v {
+                SetValue::Num(x) => Ok(*x),
+                SetValue::Ident(s) => Err(format!("parameter `{}` needs a number, got `{}`", key, s)),
+            }
+        };
+        match key {
+            "noise_dbm" => self.noise_dbm = num(value)?,
+            "freq_ghz" => self.freq_hz = num(value)? * 1e9,
+            "freq_hz" => self.freq_hz = num(value)?,
+            "pl_exponent" => self.pl_exponent = num(value)?,
+            "bit_rate_bps" => self.bit_rate_bps = num(value)?,
+            "bit_rate_kbps" => self.bit_rate_bps = num(value)? * 1000.0,
+            "slot_ms" => self.slot_ms = num(value)?,
+            "slots_per_frame" => self.slots_per_frame = num(value)? as usize,
+            "packet_bytes" => self.packet_bytes = num(value)? as u32,
+            "period_s" => self.period_s = num(value)?,
+            "battery_mah" => self.battery_mah = num(value)?,
+            "duty_cycle" => self.duty_cycle = num(value)?,
+            "csma_backoff" => self.csma_backoff = num(value)?,
+            "protocol" => match value {
+                SetValue::Ident(s) => {
+                    self.protocol = Protocol::from_name(s)
+                        .ok_or_else(|| format!("unknown protocol `{}`", s))?;
+                }
+                SetValue::Num(_) => return Err("protocol needs a name".into()),
+            },
+            "modulation" => match value {
+                SetValue::Ident(s) => {
+                    self.modulation = Modulation::from_name(s)
+                        .ok_or_else(|| format!("unknown modulation `{}`", s))?;
+                }
+                SetValue::Num(_) => return Err("modulation needs a name".into()),
+            },
+            other => return Err(format!("unknown parameter `{}`", other)),
+        }
+        Ok(())
+    }
+}
+
+/// One family of required routes: every node matched by `from` needs a path
+/// to the node matched by `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteFamily {
+    /// Family name.
+    pub name: String,
+    /// Source selector.
+    pub from: Selector,
+    /// Destination selector.
+    pub to: Selector,
+    /// Maximum hops (`None` = unbounded).
+    pub max_hops: Option<usize>,
+}
+
+/// The assembled, typed requirement set.
+#[derive(Debug, Clone, Default)]
+pub struct Requirements {
+    /// Route families, in declaration order.
+    pub routes: Vec<RouteFamily>,
+    /// Pairs of family indices that must be link-disjoint.
+    pub disjoint: Vec<(usize, usize)>,
+    /// SNR floor for active links (dB).
+    pub min_snr_db: Option<f64>,
+    /// RSS floor for active links (dBm).
+    pub min_rss_dbm: Option<f64>,
+    /// BER ceiling for active links.
+    pub max_ber: Option<f64>,
+    /// Network lifetime floor (years).
+    pub min_lifetime_years: Option<f64>,
+    /// Localization coverage `(count, rss_dbm)`.
+    pub min_reachable: Option<(usize, f64)>,
+    /// Weighted objective terms; defaults to pure cost.
+    pub objective: Vec<(f64, ObjKind)>,
+    /// Channel/protocol/battery parameters.
+    pub params: Params,
+}
+
+/// Error while assembling [`Requirements`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequirementsError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for RequirementsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "requirements: {}", self.message)
+    }
+}
+
+impl std::error::Error for RequirementsError {}
+
+impl Requirements {
+    /// Assembles requirements from parsed statements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RequirementsError`] for references to unknown route
+    /// families, duplicate family names, or bad parameters.
+    pub fn from_stmts(stmts: &[Stmt]) -> Result<Requirements, RequirementsError> {
+        let mut req = Requirements {
+            objective: vec![(1.0, ObjKind::Cost)],
+            ..Requirements::default()
+        };
+        let mut family_idx: HashMap<String, usize> = HashMap::new();
+        let mut objective_set = false;
+        // latency bounds are converted to hop bounds after all `set`
+        // statements are known (the slot duration may come later in the
+        // file), so they are collected first
+        let mut latency_bounds: Vec<(usize, f64)> = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Set { key, value } => {
+                    req.params
+                        .apply_set(key, value)
+                        .map_err(|message| RequirementsError { message })?;
+                }
+                Stmt::HasPath { name, from, to } => {
+                    if family_idx.contains_key(name) {
+                        return Err(RequirementsError {
+                            message: format!("duplicate route family `{}`", name),
+                        });
+                    }
+                    family_idx.insert(name.clone(), req.routes.len());
+                    req.routes.push(RouteFamily {
+                        name: name.clone(),
+                        from: from.clone(),
+                        to: to.clone(),
+                        max_hops: None,
+                    });
+                }
+                Stmt::DisjointLinks(a, b) => {
+                    let ia = *family_idx.get(a).ok_or_else(|| RequirementsError {
+                        message: format!("disjoint_links references unknown family `{}`", a),
+                    })?;
+                    let ib = *family_idx.get(b).ok_or_else(|| RequirementsError {
+                        message: format!("disjoint_links references unknown family `{}`", b),
+                    })?;
+                    if ia == ib {
+                        return Err(RequirementsError {
+                            message: format!("disjoint_links needs two distinct families, got `{}` twice", a),
+                        });
+                    }
+                    req.disjoint.push((ia.min(ib), ia.max(ib)));
+                }
+                Stmt::MaxHops { family, hops } => {
+                    let i = *family_idx.get(family).ok_or_else(|| RequirementsError {
+                        message: format!("max_hops references unknown family `{}`", family),
+                    })?;
+                    req.routes[i].max_hops = Some(*hops);
+                }
+                Stmt::MinSnr(v) => req.min_snr_db = Some(*v),
+                Stmt::MinRss(v) => req.min_rss_dbm = Some(*v),
+                Stmt::MaxBer(v) => {
+                    if !(*v > 0.0 && *v < 0.5) {
+                        return Err(RequirementsError {
+                            message: format!("max_bit_error_rate must be in (0, 0.5), got {}", v),
+                        });
+                    }
+                    req.max_ber = Some(*v);
+                }
+                Stmt::MaxLatency { family, ms } => {
+                    let i = *family_idx.get(family).ok_or_else(|| RequirementsError {
+                        message: format!("max_latency_ms references unknown family `{}`", family),
+                    })?;
+                    latency_bounds.push((i, *ms));
+                }
+                Stmt::MinLifetime(v) => req.min_lifetime_years = Some(*v),
+                Stmt::MinReachable { count, rss_dbm } => {
+                    req.min_reachable = Some((*count, *rss_dbm));
+                }
+                Stmt::Objective(terms) => {
+                    if objective_set {
+                        return Err(RequirementsError {
+                            message: "multiple objective statements".into(),
+                        });
+                    }
+                    objective_set = true;
+                    req.objective = terms.clone();
+                }
+            }
+        }
+        // Finalize latency bounds: in the TDMA schedule each hop occupies
+        // one slot per superframe, so the worst-case end-to-end latency of
+        // an h-hop route is h slots; the bound becomes a hop bound,
+        // intersected with any explicit max_hops.
+        for (i, ms) in latency_bounds {
+            if req.params.slot_ms <= 0.0 {
+                return Err(RequirementsError {
+                    message: "max_latency_ms requires a positive slot_ms".into(),
+                });
+            }
+            let hops = (ms / req.params.slot_ms).floor() as usize;
+            if hops == 0 {
+                return Err(RequirementsError {
+                    message: format!(
+                        "latency bound {} ms is below one slot ({} ms)",
+                        ms, req.params.slot_ms
+                    ),
+                });
+            }
+            let fam = &mut req.routes[i];
+            fam.max_hops = Some(fam.max_hops.map_or(hops, |h| h.min(hops)));
+        }
+        Ok(req)
+    }
+
+    /// Parses and assembles in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and assembly errors as a [`RequirementsError`].
+    pub fn from_spec_text(text: &str) -> Result<Requirements, RequirementsError> {
+        let stmts = crate::spec::parse_spec(text).map_err(|e| RequirementsError {
+            message: e.to_string(),
+        })?;
+        Requirements::from_stmts(&stmts)
+    }
+
+    /// The effective SNR floor combining `min_snr_db`, `min_rss_dbm` (RSS
+    /// converts through the noise floor), and `max_ber` (BER converts
+    /// through the modulation curve) — the strictest wins.
+    pub fn effective_min_snr_db(&self) -> f64 {
+        let mut floor: Option<f64> = self.min_snr_db;
+        let mut raise = |v: f64| {
+            floor = Some(match floor {
+                Some(f) => f.max(v),
+                None => v,
+            })
+        };
+        if let Some(r) = self.min_rss_dbm {
+            raise(r - self.params.noise_dbm);
+        }
+        if let Some(b) = self.max_ber {
+            raise(self.params.modulation.snr_for_ber(b));
+        }
+        // a minimal link viability floor so ETX stays sane
+        floor.unwrap_or(5.0)
+    }
+
+    /// Lifetime floor in seconds, if set.
+    pub fn min_lifetime_seconds(&self) -> Option<f64> {
+        self.min_lifetime_years.map(|y| y * 365.25 * 24.0 * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+set noise_dbm = -98
+set packet_bytes = 50
+set modulation = qpsk
+routes  = has_path(sensors, sink)
+routes2 = has_path(sensors, sink)
+disjoint_links(routes, routes2)
+max_hops(routes2, 6)
+min_signal_to_noise(20)
+min_network_lifetime(5)
+objective minimize 0.5*cost + 0.5*energy
+"#;
+
+    #[test]
+    fn assemble_full() {
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        assert_eq!(req.params.noise_dbm, -98.0);
+        assert_eq!(req.routes.len(), 2);
+        assert_eq!(req.routes[0].name, "routes");
+        assert_eq!(req.routes[1].max_hops, Some(6));
+        assert_eq!(req.disjoint, vec![(0, 1)]);
+        assert_eq!(req.min_snr_db, Some(20.0));
+        assert_eq!(req.min_lifetime_years, Some(5.0));
+        assert_eq!(req.objective.len(), 2);
+    }
+
+    #[test]
+    fn default_objective_is_cost() {
+        let req = Requirements::from_spec_text("p = has_path(sensors, sink)").unwrap();
+        assert_eq!(req.objective, vec![(1.0, ObjKind::Cost)]);
+    }
+
+    #[test]
+    fn unknown_family_rejected() {
+        let err = Requirements::from_spec_text("disjoint_links(a, b)").unwrap_err();
+        assert!(err.message.contains("unknown family"));
+        let err =
+            Requirements::from_spec_text("p = has_path(sensors, sink)\nmax_hops(q, 3)")
+                .unwrap_err();
+        assert!(err.message.contains("unknown family"));
+    }
+
+    #[test]
+    fn duplicate_family_rejected() {
+        let err = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\np = has_path(sensors, sink)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn self_disjoint_rejected() {
+        let err = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\ndisjoint_links(p, p)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("distinct"));
+    }
+
+    #[test]
+    fn param_errors_surface() {
+        let err = Requirements::from_spec_text("set warp_factor = 9").unwrap_err();
+        assert!(err.message.contains("warp_factor"));
+        let err = Requirements::from_spec_text("set modulation = 7").unwrap_err();
+        assert!(err.message.contains("modulation"));
+        let err = Requirements::from_spec_text("set noise_dbm = qpsk").unwrap_err();
+        assert!(err.message.contains("noise_dbm"));
+    }
+
+    #[test]
+    fn effective_snr_combines_floors() {
+        let mut req = Requirements::default();
+        assert_eq!(req.effective_min_snr_db(), 5.0);
+        req.min_snr_db = Some(20.0);
+        assert_eq!(req.effective_min_snr_db(), 20.0);
+        req.min_rss_dbm = Some(-75.0); // noise -100 -> 25 dB
+        assert_eq!(req.effective_min_snr_db(), 25.0);
+        req.min_snr_db = None;
+        assert_eq!(req.effective_min_snr_db(), 25.0);
+    }
+
+    #[test]
+    fn ber_converts_to_snr_floor() {
+        let req = Requirements::from_spec_text(
+            "set modulation = qpsk\nmax_bit_error_rate(1e-6)",
+        )
+        .unwrap();
+        let floor = req.effective_min_snr_db();
+        // QPSK at BER 1e-6 needs ~13.5 dB symbol SNR
+        assert!((12.0..16.0).contains(&floor), "floor = {}", floor);
+        // the strictest of BER and explicit SNR wins
+        let req2 = Requirements::from_spec_text(
+            "set modulation = qpsk\nmax_bit_error_rate(1e-6)\nmin_signal_to_noise(20)",
+        )
+        .unwrap();
+        assert_eq!(req2.effective_min_snr_db(), 20.0);
+        // invalid BER targets rejected
+        assert!(Requirements::from_spec_text("max_bit_error_rate(0.9)").is_err());
+    }
+
+    #[test]
+    fn latency_converts_to_hop_bound() {
+        let req = Requirements::from_spec_text(
+            "set slot_ms = 2\np = has_path(sensors, sink)\nmax_latency_ms(p, 7)",
+        )
+        .unwrap();
+        assert_eq!(req.routes[0].max_hops, Some(3)); // floor(7/2)
+        // intersects with an explicit hop bound
+        let req2 = Requirements::from_spec_text(
+            "set slot_ms = 2\np = has_path(sensors, sink)\nmax_hops(p, 2)\nmax_latency_ms(p, 7)",
+        )
+        .unwrap();
+        assert_eq!(req2.routes[0].max_hops, Some(2));
+        // order independence: set after the pattern still applies
+        let req3 = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nmax_latency_ms(p, 7)\nset slot_ms = 2",
+        )
+        .unwrap();
+        assert_eq!(req3.routes[0].max_hops, Some(3));
+        // sub-slot latency is impossible
+        assert!(Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nmax_latency_ms(p, 0.5)"
+        )
+        .is_err());
+        // unknown family
+        assert!(Requirements::from_spec_text("max_latency_ms(q, 10)").is_err());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = Params::default();
+        assert_eq!(p.packet_bits(), 400);
+        assert_eq!(p.battery_mas(), 3000.0 * 3600.0);
+        let req = Requirements {
+            min_lifetime_years: Some(2.0),
+            ..Default::default()
+        };
+        let secs = req.min_lifetime_seconds().unwrap();
+        assert!((secs - 2.0 * 365.25 * 24.0 * 3600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multiple_objectives_rejected() {
+        let err = Requirements::from_spec_text(
+            "objective minimize cost\nobjective minimize energy",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("multiple objective"));
+    }
+}

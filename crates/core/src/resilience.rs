@@ -1,0 +1,210 @@
+//! Fault-resiliency analysis of synthesized designs.
+//!
+//! The paper's data-collection example "improves the network resiliency to
+//! faults by adding some redundancy" (two link-disjoint routes per sensor,
+//! §4.1). This module quantifies that property on an extracted design:
+//! for every single link or relay failure, does every sensor still reach
+//! the sink over the surviving active topology?
+
+use crate::design::NetworkDesign;
+use crate::template::{NetworkTemplate, NodeRole};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Outcome of a single-fault sweep over a design.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceReport {
+    /// Sensor-to-sink pairs analyzed.
+    pub num_pairs: usize,
+    /// Active links whose individual failure disconnects some sensor.
+    pub critical_links: Vec<(usize, usize)>,
+    /// Placed relays whose individual failure disconnects some sensor.
+    pub critical_relays: Vec<usize>,
+    /// Total single-link fault scenarios examined.
+    pub link_faults_examined: usize,
+    /// Total single-relay fault scenarios examined.
+    pub relay_faults_examined: usize,
+}
+
+impl ResilienceReport {
+    /// `true` when no single link failure disconnects any sensor.
+    pub fn survives_any_link_fault(&self) -> bool {
+        self.critical_links.is_empty()
+    }
+
+    /// `true` when no single relay failure disconnects any sensor.
+    pub fn survives_any_relay_fault(&self) -> bool {
+        self.critical_relays.is_empty()
+    }
+
+    /// Fraction of examined single-link faults tolerated.
+    pub fn link_fault_tolerance(&self) -> f64 {
+        if self.link_faults_examined == 0 {
+            1.0
+        } else {
+            1.0 - self.critical_links.len() as f64 / self.link_faults_examined as f64
+        }
+    }
+}
+
+/// BFS reachability from `src` to `dst` over `edges`, skipping
+/// `banned_edge` and `banned_node`.
+fn reaches(
+    adj: &HashMap<usize, Vec<(usize, usize)>>, // node -> (neighbor, edge idx)
+    src: usize,
+    dst: usize,
+    banned_edge: Option<usize>,
+    banned_node: Option<usize>,
+) -> bool {
+    if Some(src) == banned_node || Some(dst) == banned_node {
+        return false;
+    }
+    let mut seen = HashSet::new();
+    let mut q = VecDeque::new();
+    seen.insert(src);
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        if v == dst {
+            return true;
+        }
+        if let Some(nexts) = adj.get(&v) {
+            for &(w, e) in nexts {
+                if Some(e) == banned_edge || Some(w) == banned_node {
+                    continue;
+                }
+                if seen.insert(w) {
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Sweeps every single active-link and single placed-relay failure and
+/// reports which ones disconnect a sensor from the sink.
+///
+/// Only the design's *active* topology is considered (the synthesized
+/// network cannot reroute over unplaced candidates), which is exactly the
+/// guarantee the disjoint-routes pattern purchases.
+pub fn analyze_resilience(
+    design: &NetworkDesign,
+    template: &NetworkTemplate,
+) -> ResilienceReport {
+    let mut report = ResilienceReport::default();
+    let sinks = template.nodes_of(NodeRole::Sink);
+    let Some(&sink) = sinks.first() else {
+        return report;
+    };
+    let sensors: Vec<usize> = design
+        .placed
+        .iter()
+        .map(|p| p.node)
+        .filter(|&n| template.nodes()[n].role == NodeRole::Sensor)
+        .collect();
+    report.num_pairs = sensors.len();
+
+    let mut adj: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+    for (idx, &(i, j)) in design.edges.iter().enumerate() {
+        adj.entry(i).or_default().push((j, idx));
+    }
+
+    // Single-link faults.
+    for (idx, &e) in design.edges.iter().enumerate() {
+        report.link_faults_examined += 1;
+        let broken = sensors
+            .iter()
+            .any(|&s| !reaches(&adj, s, sink, Some(idx), None));
+        if broken {
+            report.critical_links.push(e);
+        }
+    }
+    // Single-relay faults.
+    for p in &design.placed {
+        if template.nodes()[p.node].role != NodeRole::Relay {
+            continue;
+        }
+        report.relay_faults_examined += 1;
+        let broken = sensors
+            .iter()
+            .any(|&s| !reaches(&adj, s, sink, None, Some(p.node)));
+        if broken {
+            report.critical_relays.push(p.node);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::verify_design;
+    use crate::explore::{explore, ExploreOptions};
+    use crate::requirements::Requirements;
+    use channel::LogDistance;
+    use devlib::catalog;
+    use floorplan::Point;
+
+    fn template() -> NetworkTemplate {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        for i in 0..6 {
+            let x = 12.0 + 11.0 * (i / 2) as f64;
+            let y = if i % 2 == 0 { 6.0 } else { -6.0 };
+            t.add_node(format!("r{}", i), Point::new(x, y), NodeRole::Relay);
+        }
+        t.add_node("sink", Point::new(45.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, 10.0);
+        t
+    }
+
+    #[test]
+    fn disjoint_routes_survive_link_faults() {
+        let t = template();
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nq = has_path(sensors, sink)\n\
+             disjoint_links(p, q)\nmin_signal_to_noise(12)\nobjective minimize cost",
+        )
+        .unwrap();
+        let out = explore(&t, &lib, &req, &ExploreOptions::approx(8)).unwrap();
+        let d = out.design.expect("feasible");
+        assert!(verify_design(&d, &t, &lib, &req).is_empty());
+        let r = analyze_resilience(&d, &t);
+        assert_eq!(r.num_pairs, 1);
+        assert!(
+            r.survives_any_link_fault(),
+            "critical links: {:?} (routes {:?})",
+            r.critical_links,
+            d.routes
+        );
+        assert!(r.link_faults_examined >= 2);
+    }
+
+    #[test]
+    fn single_route_is_fragile() {
+        let t = template();
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nmin_signal_to_noise(12)\nobjective minimize cost",
+        )
+        .unwrap();
+        let out = explore(&t, &lib, &req, &ExploreOptions::approx(4)).unwrap();
+        let d = out.design.expect("feasible");
+        let r = analyze_resilience(&d, &t);
+        // a single route: every one of its links is critical
+        assert!(!r.survives_any_link_fault());
+        assert_eq!(r.critical_links.len(), r.link_faults_examined);
+        assert_eq!(r.link_fault_tolerance(), 0.0);
+    }
+
+    #[test]
+    fn empty_design_reports_cleanly() {
+        let t = template();
+        let d = NetworkDesign::default();
+        let r = analyze_resilience(&d, &t);
+        assert_eq!(r.num_pairs, 0);
+        assert!(r.survives_any_link_fault());
+        assert_eq!(r.link_fault_tolerance(), 1.0);
+    }
+}

@@ -1,0 +1,604 @@
+//! The pattern-based specification language.
+//!
+//! ArchEx compiles "compact and human-readable specifications ... using a
+//! pattern-based formal language" (paper §1). This module implements a
+//! line-oriented textual form of those patterns:
+//!
+//! ```text
+//! # data collection requirements
+//! set noise_dbm = -100
+//! set packet_bytes = 50
+//!
+//! routes  = has_path(sensors, sink)
+//! routes2 = has_path(sensors, sink)
+//! disjoint_links(routes, routes2)
+//! max_hops(routes, 8)
+//! max_latency_ms(routes, 8)       # TDMA latency -> hop bound
+//! min_signal_to_noise(20)
+//! max_bit_error_rate(1e-6)        # BER -> SNR floor via the modulation
+//! min_network_lifetime(5)
+//! min_reachable_devices(3, -80)   # localization coverage
+//! objective minimize cost         # or energy / dsod / weighted sums
+//! ```
+//!
+//! Statements are parsed into [`Stmt`] values; the typed requirement
+//! assembly lives in [`crate::requirements`].
+
+use std::fmt;
+
+/// Node-set selector used by routing patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Selector {
+    /// All sensor nodes.
+    Sensors,
+    /// All relay candidates.
+    Relays,
+    /// All anchor candidates.
+    Anchors,
+    /// The sink node.
+    Sink,
+    /// A single node by name.
+    Node(String),
+}
+
+impl Selector {
+    fn from_ident(s: &str) -> Selector {
+        match s {
+            "sensors" => Selector::Sensors,
+            "relays" => Selector::Relays,
+            "anchors" => Selector::Anchors,
+            "sink" => Selector::Sink,
+            other => Selector::Node(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selector::Sensors => f.write_str("sensors"),
+            Selector::Relays => f.write_str("relays"),
+            Selector::Anchors => f.write_str("anchors"),
+            Selector::Sink => f.write_str("sink"),
+            Selector::Node(n) => f.write_str(n),
+        }
+    }
+}
+
+/// Objective components that can appear in `objective minimize ...`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// Total dollar cost of selected components.
+    Cost,
+    /// Total network energy per sensing period.
+    Energy,
+    /// Difference-of-sum-of-distances localization accuracy surrogate.
+    Dsod,
+}
+
+impl ObjKind {
+    fn from_ident(s: &str) -> Option<ObjKind> {
+        match s {
+            "cost" => Some(ObjKind::Cost),
+            "energy" => Some(ObjKind::Energy),
+            "dsod" => Some(ObjKind::Dsod),
+            _ => None,
+        }
+    }
+}
+
+/// Value of a `set` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetValue {
+    /// Numeric parameter.
+    Num(f64),
+    /// Identifier parameter (e.g. a modulation name).
+    Ident(String),
+}
+
+/// One parsed specification statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `set key = value` — channel/protocol/battery parameter.
+    Set {
+        /// Parameter name.
+        key: String,
+        /// Parameter value.
+        value: SetValue,
+    },
+    /// `name = has_path(from, to)` — a family of required routes.
+    HasPath {
+        /// Family name (referenced by `disjoint_links`/`max_hops`).
+        name: String,
+        /// Source selector.
+        from: Selector,
+        /// Destination selector.
+        to: Selector,
+    },
+    /// `disjoint_links(a, b)` — route families must be link-disjoint.
+    DisjointLinks(String, String),
+    /// `max_hops(family, n)` — hop bound on a family.
+    MaxHops {
+        /// Family name.
+        family: String,
+        /// Maximum hops.
+        hops: usize,
+    },
+    /// `min_signal_to_noise(db)` — SNR floor on every active link.
+    MinSnr(f64),
+    /// `min_rss(dbm)` — RSS floor on every active link.
+    MinRss(f64),
+    /// `max_bit_error_rate(ber)` — BER ceiling on every active link
+    /// (converted to an SNR floor through the modulation curve).
+    MaxBer(f64),
+    /// `max_latency_ms(family, ms)` — end-to-end TDMA latency bound on a
+    /// route family (converted to a hop bound via the slot duration).
+    MaxLatency {
+        /// Family name.
+        family: String,
+        /// Latency bound in milliseconds.
+        ms: f64,
+    },
+    /// `min_network_lifetime(years)` — battery lifetime floor per node.
+    MinLifetime(f64),
+    /// `min_reachable_devices(n, rss_dbm)` — localization coverage.
+    MinReachable {
+        /// Minimum number of anchors covering each evaluation point.
+        count: usize,
+        /// RSS floor for a link to count as coverage.
+        rss_dbm: f64,
+    },
+    /// `objective minimize w1*obj1 + w2*obj2 + ...`.
+    Objective(Vec<(f64, ObjKind)>),
+}
+
+/// A parse error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Star,
+    Plus,
+}
+
+fn lex(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseSpecError> {
+    let mut toks = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '#' => break, // trailing comment
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                chars.next();
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                chars.next();
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                chars.next();
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                chars.next();
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                chars.next();
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                chars.next();
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                let mut end = i;
+                chars.next();
+                end += c.len_utf8();
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' {
+                        // allow exponents; a '-' after 'e' only
+                        if d == '-' {
+                            let prev = line[..j].chars().last();
+                            if !matches!(prev, Some('e') | Some('E')) {
+                                break;
+                            }
+                        }
+                        chars.next();
+                        end = j + d.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &line[start..end];
+                let v: f64 = text.parse().map_err(|_| ParseSpecError {
+                    line: lineno,
+                    message: format!("bad number `{}`", text),
+                })?;
+                toks.push(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                chars.next();
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        chars.next();
+                        end = j + d.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(line[start..end].to_string()));
+            }
+            other => {
+                return Err(ParseSpecError {
+                    line: lineno,
+                    message: format!("unexpected character `{}`", other),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct P<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseSpecError {
+        ParseSpecError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseSpecError> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            other => Err(self.err(format!("expected {}, got {:?}", what, other))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseSpecError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {}, got {:?}", what, other))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseSpecError> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(v),
+            other => Err(self.err(format!("expected {}, got {:?}", what, other))),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+fn parse_line(toks: &[Tok], lineno: usize) -> Result<Option<Stmt>, ParseSpecError> {
+    if toks.is_empty() {
+        return Ok(None);
+    }
+    let mut p = P {
+        toks,
+        pos: 0,
+        line: lineno,
+    };
+    let head = p.ident("statement keyword or name")?;
+    let stmt = match head.as_str() {
+        "set" => {
+            let key = p.ident("parameter name")?;
+            p.expect(&Tok::Eq, "`=`")?;
+            let value = match p.next() {
+                Some(Tok::Num(v)) => SetValue::Num(v),
+                Some(Tok::Ident(s)) => SetValue::Ident(s),
+                other => return Err(p.err(format!("expected value, got {:?}", other))),
+            };
+            Stmt::Set { key, value }
+        }
+        "disjoint_links" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let a = p.ident("route family name")?;
+            p.expect(&Tok::Comma, "`,`")?;
+            let b = p.ident("route family name")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::DisjointLinks(a, b)
+        }
+        "max_hops" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let family = p.ident("route family name")?;
+            p.expect(&Tok::Comma, "`,`")?;
+            let hops = p.number("hop count")? as usize;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MaxHops { family, hops }
+        }
+        "min_signal_to_noise" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let v = p.number("SNR in dB")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MinSnr(v)
+        }
+        "min_rss" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let v = p.number("RSS in dBm")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MinRss(v)
+        }
+        "max_bit_error_rate" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let v = p.number("bit error rate")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MaxBer(v)
+        }
+        "max_latency_ms" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let family = p.ident("route family name")?;
+            p.expect(&Tok::Comma, "`,`")?;
+            let ms = p.number("latency in ms")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MaxLatency { family, ms }
+        }
+        "min_network_lifetime" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let v = p.number("lifetime in years")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MinLifetime(v)
+        }
+        "min_reachable_devices" => {
+            p.expect(&Tok::LParen, "`(`")?;
+            let count = p.number("device count")? as usize;
+            p.expect(&Tok::Comma, "`,`")?;
+            let rss = p.number("RSS floor in dBm")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::MinReachable {
+                count,
+                rss_dbm: rss,
+            }
+        }
+        "objective" => {
+            let verb = p.ident("`minimize`")?;
+            if verb != "minimize" {
+                return Err(p.err(format!("expected `minimize`, got `{}`", verb)));
+            }
+            let mut terms = Vec::new();
+            loop {
+                // [NUM *] KIND
+                let weight = match p.peek() {
+                    Some(Tok::Num(v)) => {
+                        let v = *v;
+                        p.next();
+                        p.expect(&Tok::Star, "`*`")?;
+                        v
+                    }
+                    _ => 1.0,
+                };
+                let kind_name = p.ident("objective kind (cost/energy/dsod)")?;
+                let kind = ObjKind::from_ident(&kind_name)
+                    .ok_or_else(|| p.err(format!("unknown objective `{}`", kind_name)))?;
+                terms.push((weight, kind));
+                match p.peek() {
+                    Some(Tok::Plus) => {
+                        p.next();
+                    }
+                    _ => break,
+                }
+            }
+            Stmt::Objective(terms)
+        }
+        name => {
+            // `name = has_path(a, b)`
+            p.expect(&Tok::Eq, "`=` after route family name")?;
+            let func = p.ident("`has_path`")?;
+            if func != "has_path" {
+                return Err(p.err(format!("unknown pattern `{}`", func)));
+            }
+            p.expect(&Tok::LParen, "`(`")?;
+            let from = p.ident("source selector")?;
+            p.expect(&Tok::Comma, "`,`")?;
+            let to = p.ident("destination selector")?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Stmt::HasPath {
+                name: name.to_string(),
+                from: Selector::from_ident(&from),
+                to: Selector::from_ident(&to),
+            }
+        }
+    };
+    if !p.done() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(Some(stmt))
+}
+
+/// Parses a full specification text into statements.
+///
+/// # Errors
+///
+/// Returns the first [`ParseSpecError`] encountered, with its line number.
+pub fn parse_spec(input: &str) -> Result<Vec<Stmt>, ParseSpecError> {
+    let mut stmts = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks = lex(line, lineno)?;
+        if let Some(s) = parse_line(&toks, lineno)? {
+            stmts.push(s);
+        }
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let text = r#"
+# data collection
+set noise_dbm = -100
+set modulation = qpsk
+
+routes  = has_path(sensors, sink)
+routes2 = has_path(sensors, sink)
+disjoint_links(routes, routes2)
+max_hops(routes, 8)
+min_signal_to_noise(20)
+min_network_lifetime(5)
+objective minimize cost
+"#;
+        let stmts = parse_spec(text).unwrap();
+        assert_eq!(stmts.len(), 9);
+        assert_eq!(
+            stmts[0],
+            Stmt::Set {
+                key: "noise_dbm".into(),
+                value: SetValue::Num(-100.0)
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            Stmt::Set {
+                key: "modulation".into(),
+                value: SetValue::Ident("qpsk".into())
+            }
+        );
+        assert_eq!(
+            stmts[2],
+            Stmt::HasPath {
+                name: "routes".into(),
+                from: Selector::Sensors,
+                to: Selector::Sink
+            }
+        );
+        assert_eq!(
+            stmts[4],
+            Stmt::DisjointLinks("routes".into(), "routes2".into())
+        );
+        assert_eq!(
+            stmts[5],
+            Stmt::MaxHops {
+                family: "routes".into(),
+                hops: 8
+            }
+        );
+        assert_eq!(stmts[6], Stmt::MinSnr(20.0));
+        assert_eq!(stmts[7], Stmt::MinLifetime(5.0));
+        assert_eq!(stmts[8], Stmt::Objective(vec![(1.0, ObjKind::Cost)]));
+    }
+
+    #[test]
+    fn parse_weighted_objective() {
+        let stmts = parse_spec("objective minimize 0.5*cost + 0.5*energy").unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::Objective(vec![(0.5, ObjKind::Cost), (0.5, ObjKind::Energy)])
+        );
+        let stmts = parse_spec("objective minimize cost + 2*dsod").unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::Objective(vec![(1.0, ObjKind::Cost), (2.0, ObjKind::Dsod)])
+        );
+    }
+
+    #[test]
+    fn parse_localization_pattern() {
+        let stmts = parse_spec("min_reachable_devices(3, -80)").unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::MinReachable {
+                count: 3,
+                rss_dbm: -80.0
+            }
+        );
+    }
+
+    #[test]
+    fn node_name_selectors() {
+        let stmts = parse_spec("p = has_path(s3, sink)").unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::HasPath {
+                name: "p".into(),
+                from: Selector::Node("s3".into()),
+                to: Selector::Sink
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_comment_ignored() {
+        let stmts = parse_spec("min_rss(-80) # keep links strong").unwrap();
+        assert_eq!(stmts[0], Stmt::MinRss(-80.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_spec("\n\nmin_rss(oops)\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse_spec("objective minimize warp").unwrap_err();
+        assert!(err.message.contains("warp"));
+        let err = parse_spec("p = teleport(a, b)").unwrap_err();
+        assert!(err.message.contains("teleport"));
+        let err = parse_spec("min_rss(-80) extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let stmts = parse_spec("set bit_rate_bps = 2.5e5").unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::Set {
+                key: "bit_rate_bps".into(),
+                value: SetValue::Num(2.5e5)
+            }
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Reference catalogs.
+//!
+//! The paper bases its library on commercial WSN transceivers and integrated
+//! circuits (TI ZigBee parts, paper reference 2). We do not have the authors' exact
+//! attribute table, so [`zigbee_reference`] encodes datasheet-typical values
+//! for CC2530/CC2538/CC2592-class 2.4-GHz parts, preserving the structural
+//! trade-offs that drive the paper's results:
+//!
+//! * more TX power costs more current **and** more dollars,
+//! * an external antenna adds gain at extra cost,
+//! * premium low-power parts cut currents at a higher price.
+
+use crate::component::{Component, DeviceKind};
+use crate::library::Library;
+
+fn c(
+    name: &str,
+    kind: DeviceKind,
+    cost: f64,
+    tx_dbm: f64,
+    gain_dbi: f64,
+    tx_ma: f64,
+    rx_ma: f64,
+    active_ma: f64,
+    sleep_ua: f64,
+) -> Component {
+    Component {
+        name: name.into(),
+        kind,
+        cost,
+        tx_power_dbm: tx_dbm,
+        antenna_gain_dbi: gain_dbi,
+        radio_tx_ma: tx_ma,
+        radio_rx_ma: rx_ma,
+        active_ma,
+        sleep_ua,
+    }
+}
+
+/// The default 2.4-GHz ZigBee-class catalog (16 components across sensor,
+/// relay, sink, and anchor roles).
+pub fn zigbee_reference() -> Library {
+    use DeviceKind::*;
+    Library::new(vec![
+        // --- sensors (end devices); the basic one is free per the paper's
+        //     "sensors have zero cost" assumption ---
+        c("sensor-std", Sensor, 0.0, 0.0, 0.0, 25.0, 22.0, 8.0, 1.0),
+        c("sensor-hp", Sensor, 6.0, 4.5, 0.0, 34.0, 24.0, 8.0, 1.0),
+        c("sensor-ant", Sensor, 14.0, 4.5, 5.0, 34.0, 24.0, 8.0, 1.0),
+        c("sensor-lp", Sensor, 18.0, 4.5, 0.0, 21.0, 17.0, 4.0, 0.4),
+        c("sensor-lp-ant", Sensor, 28.0, 4.5, 5.0, 21.0, 17.0, 4.0, 0.4),
+        // --- relays ---
+        c("relay-basic", Relay, 20.0, 0.0, 0.0, 25.0, 22.0, 8.0, 1.0),
+        c("relay-mid", Relay, 28.0, 4.5, 0.0, 34.0, 24.0, 8.0, 1.0),
+        c("relay-ant", Relay, 38.0, 4.5, 5.0, 34.0, 24.0, 8.0, 1.0),
+        c("relay-pa", Relay, 48.0, 20.0, 0.0, 120.0, 25.0, 9.0, 1.5),
+        c("relay-lp", Relay, 52.0, 4.5, 0.0, 21.0, 17.0, 4.0, 0.4),
+        c("relay-lp-ant", Relay, 62.0, 4.5, 5.0, 21.0, 17.0, 4.0, 0.4),
+        // --- sinks (mains powered; currents kept for completeness) ---
+        c("sink-std", Sink, 80.0, 4.5, 0.0, 34.0, 24.0, 20.0, 5.0),
+        c("sink-ant", Sink, 100.0, 4.5, 5.0, 34.0, 24.0, 20.0, 5.0),
+        // --- localization anchors ---
+        c("anchor-std", Anchor, 35.0, 0.0, 0.0, 25.0, 22.0, 8.0, 1.0),
+        c("anchor-mid", Anchor, 45.0, 4.5, 0.0, 34.0, 24.0, 8.0, 1.0),
+        c("anchor-ant", Anchor, 60.0, 4.5, 5.0, 34.0, 24.0, 8.0, 1.0),
+        c("anchor-pa-ant", Anchor, 140.0, 20.0, 5.0, 120.0, 25.0, 9.0, 1.5),
+    ])
+    .expect("reference catalog is valid by construction")
+}
+
+/// A deliberately tiny library for unit tests and examples: one component
+/// per role.
+pub fn minimal() -> Library {
+    use DeviceKind::*;
+    Library::new(vec![
+        c("sensor", Sensor, 0.0, 0.0, 0.0, 25.0, 22.0, 8.0, 1.0),
+        c("relay", Relay, 20.0, 4.5, 0.0, 34.0, 24.0, 8.0, 1.0),
+        c("sink", Sink, 80.0, 4.5, 0.0, 34.0, 24.0, 20.0, 5.0),
+        c("anchor", Anchor, 40.0, 4.5, 0.0, 34.0, 24.0, 8.0, 1.0),
+    ])
+    .expect("minimal catalog is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_catalog_shape() {
+        let lib = zigbee_reference();
+        assert_eq!(lib.len(), 17);
+        assert_eq!(lib.of_kind(DeviceKind::Sensor).count(), 5);
+        assert_eq!(lib.of_kind(DeviceKind::Relay).count(), 6);
+        assert_eq!(lib.of_kind(DeviceKind::Sink).count(), 2);
+        assert_eq!(lib.of_kind(DeviceKind::Anchor).count(), 4);
+    }
+
+    #[test]
+    fn tradeoffs_hold() {
+        let lib = zigbee_reference();
+        // external antenna costs more than the same radio without it
+        let mid = lib.by_name("relay-mid").unwrap();
+        let ant = lib.by_name("relay-ant").unwrap();
+        assert!(ant.cost > mid.cost);
+        assert!(ant.antenna_gain_dbi > mid.antenna_gain_dbi);
+        // low-power part costs more, draws less
+        let lp = lib.by_name("relay-lp").unwrap();
+        assert!(lp.cost > mid.cost);
+        assert!(lp.radio_tx_ma < mid.radio_tx_ma);
+        assert!(lp.sleep_ua < mid.sleep_ua);
+        // PA part: more power, more current
+        let pa = lib.by_name("relay-pa").unwrap();
+        assert!(pa.tx_power_dbm > mid.tx_power_dbm);
+        assert!(pa.radio_tx_ma > mid.radio_tx_ma);
+        // base sensor free
+        assert_eq!(lib.by_name("sensor-std").unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn minimal_catalog_one_per_role() {
+        let lib = minimal();
+        assert_eq!(lib.len(), 4);
+        for kind in [
+            DeviceKind::Sensor,
+            DeviceKind::Relay,
+            DeviceKind::Sink,
+            DeviceKind::Anchor,
+        ] {
+            assert_eq!(lib.of_kind(kind).count(), 1, "{:?}", kind);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Component types: devices selectable during sizing.
+
+use std::fmt;
+
+/// The network role a component can implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Sensing end device.
+    Sensor,
+    /// Message-forwarding relay.
+    Relay,
+    /// Base station / data sink.
+    Sink,
+    /// Localization anchor.
+    Anchor,
+}
+
+impl DeviceKind {
+    /// Parses a kind from its (case-insensitive) name.
+    pub fn from_name(name: &str) -> Option<DeviceKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "sensor" => Some(DeviceKind::Sensor),
+            "relay" => Some(DeviceKind::Relay),
+            "sink" | "basestation" => Some(DeviceKind::Sink),
+            "anchor" => Some(DeviceKind::Anchor),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Sensor => "sensor",
+            DeviceKind::Relay => "relay",
+            DeviceKind::Sink => "sink",
+            DeviceKind::Anchor => "anchor",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A library component (device) with functional and extra-functional
+/// attributes, per §2 of the paper: cost, TX power, antenna gain, and the
+/// current drawn by its hardware in different operating modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Unique name within the library.
+    pub name: String,
+    /// Role this component can implement.
+    pub kind: DeviceKind,
+    /// Unit cost in dollars.
+    pub cost: f64,
+    /// Radio transmit power (dBm).
+    pub tx_power_dbm: f64,
+    /// Antenna gain (dBi); >0 means an external antenna.
+    pub antenna_gain_dbi: f64,
+    /// Radio current while transmitting (mA).
+    pub radio_tx_ma: f64,
+    /// Radio current while receiving (mA).
+    pub radio_rx_ma: f64,
+    /// Remaining active-mode current: CPU, sensors (mA).
+    pub active_ma: f64,
+    /// Sleep-mode current (µA).
+    pub sleep_ua: f64,
+}
+
+impl Component {
+    /// Validates attribute sanity (non-negative values, finite numbers).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("component name must not be empty".into());
+        }
+        let checks = [
+            ("cost", self.cost),
+            ("tx_power_dbm", self.tx_power_dbm),
+            ("antenna_gain_dbi", self.antenna_gain_dbi),
+            ("radio_tx_ma", self.radio_tx_ma),
+            ("radio_rx_ma", self.radio_rx_ma),
+            ("active_ma", self.active_ma),
+            ("sleep_ua", self.sleep_ua),
+        ];
+        for (k, v) in checks {
+            if !v.is_finite() {
+                return Err(format!("{}: attribute {} must be finite", self.name, k));
+            }
+        }
+        for (k, v) in &checks[3..] {
+            if *v < 0.0 {
+                return Err(format!("{}: attribute {} must be >= 0", self.name, k));
+            }
+        }
+        if self.cost < 0.0 {
+            return Err(format!("{}: cost must be >= 0", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Component {
+        Component {
+            name: "relay-basic".into(),
+            kind: DeviceKind::Relay,
+            cost: 20.0,
+            tx_power_dbm: 0.0,
+            antenna_gain_dbi: 0.0,
+            radio_tx_ma: 25.0,
+            radio_rx_ma: 22.0,
+            active_ma: 8.0,
+            sleep_ua: 1.0,
+        }
+    }
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for k in [
+            DeviceKind::Sensor,
+            DeviceKind::Relay,
+            DeviceKind::Sink,
+            DeviceKind::Anchor,
+        ] {
+            assert_eq!(DeviceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(DeviceKind::from_name("BaseStation"), Some(DeviceKind::Sink));
+        assert_eq!(DeviceKind::from_name("toaster"), None);
+    }
+
+    #[test]
+    fn valid_component_passes() {
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn negative_current_rejected() {
+        let mut c = sample();
+        c.radio_rx_ma = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn negative_cost_rejected() {
+        let mut c = sample();
+        c.cost = -5.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn nan_attribute_rejected() {
+        let mut c = sample();
+        c.tx_power_dbm = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut c = sample();
+        c.name.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn negative_tx_power_is_legal() {
+        // low-power radios do transmit below 0 dBm
+        let mut c = sample();
+        c.tx_power_dbm = -10.0;
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,293 @@
+//! Plain-text library format: parse and serialize component libraries.
+//!
+//! The paper's tool reads its library as a text file; this module defines an
+//! equivalent INI-like format:
+//!
+//! ```text
+//! # ZigBee parts
+//! [component relay-basic]
+//! kind = relay
+//! cost = 20
+//! tx_power_dbm = 0
+//! antenna_gain_dbi = 0
+//! radio_tx_ma = 25
+//! radio_rx_ma = 22
+//! active_ma = 8
+//! sleep_ua = 1.0
+//! ```
+//!
+//! Unspecified numeric attributes default to zero; `kind` is required.
+
+use crate::component::{Component, DeviceKind};
+use crate::library::{BuildLibraryError, Library};
+
+/// Error from [`parse_library`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseLibraryError {
+    /// Syntax problem with a line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A component section was semantically incomplete or invalid.
+    Component {
+        /// Component name.
+        name: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The assembled library failed validation.
+    Library(BuildLibraryError),
+}
+
+impl std::fmt::Display for ParseLibraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseLibraryError::Syntax { line, message } => {
+                write!(f, "line {}: {}", line, message)
+            }
+            ParseLibraryError::Component { name, message } => {
+                write!(f, "component `{}`: {}", name, message)
+            }
+            ParseLibraryError::Library(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for ParseLibraryError {}
+
+#[derive(Default)]
+struct Draft {
+    name: String,
+    kind: Option<DeviceKind>,
+    cost: f64,
+    tx_power_dbm: f64,
+    antenna_gain_dbi: f64,
+    radio_tx_ma: f64,
+    radio_rx_ma: f64,
+    active_ma: f64,
+    sleep_ua: f64,
+}
+
+impl Draft {
+    fn finish(self) -> Result<Component, ParseLibraryError> {
+        let kind = self.kind.ok_or_else(|| ParseLibraryError::Component {
+            name: self.name.clone(),
+            message: "missing required attribute `kind`".into(),
+        })?;
+        Ok(Component {
+            name: self.name,
+            kind,
+            cost: self.cost,
+            tx_power_dbm: self.tx_power_dbm,
+            antenna_gain_dbi: self.antenna_gain_dbi,
+            radio_tx_ma: self.radio_tx_ma,
+            radio_rx_ma: self.radio_rx_ma,
+            active_ma: self.active_ma,
+            sleep_ua: self.sleep_ua,
+        })
+    }
+}
+
+/// Parses a library from text.
+///
+/// # Errors
+///
+/// Returns [`ParseLibraryError`] with a line number for syntax problems, or
+/// a component/library description for semantic ones.
+pub fn parse_library(input: &str) -> Result<Library, ParseLibraryError> {
+    let mut components = Vec::new();
+    let mut current: Option<Draft> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest.strip_suffix(']').ok_or(ParseLibraryError::Syntax {
+                line: lineno,
+                message: "unterminated section header".into(),
+            })?;
+            let mut parts = inner.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("component"), Some(name), None) => {
+                    if let Some(d) = current.take() {
+                        components.push(d.finish()?);
+                    }
+                    current = Some(Draft {
+                        name: name.to_string(),
+                        ..Draft::default()
+                    });
+                }
+                _ => {
+                    return Err(ParseLibraryError::Syntax {
+                        line: lineno,
+                        message: format!("expected `[component NAME]`, got `[{}]`", inner),
+                    })
+                }
+            }
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or(ParseLibraryError::Syntax {
+            line: lineno,
+            message: "expected `key = value`".into(),
+        })?;
+        let key = key.trim();
+        let value = value.trim();
+        let draft = current.as_mut().ok_or(ParseLibraryError::Syntax {
+            line: lineno,
+            message: "attribute outside of a [component ...] section".into(),
+        })?;
+        if key == "kind" {
+            draft.kind = Some(
+                DeviceKind::from_name(value).ok_or(ParseLibraryError::Syntax {
+                    line: lineno,
+                    message: format!("unknown kind `{}`", value),
+                })?,
+            );
+            continue;
+        }
+        let num: f64 = value.parse().map_err(|_| ParseLibraryError::Syntax {
+            line: lineno,
+            message: format!("attribute `{}` needs a numeric value, got `{}`", key, value),
+        })?;
+        match key {
+            "cost" => draft.cost = num,
+            "tx_power_dbm" => draft.tx_power_dbm = num,
+            "antenna_gain_dbi" => draft.antenna_gain_dbi = num,
+            "radio_tx_ma" => draft.radio_tx_ma = num,
+            "radio_rx_ma" => draft.radio_rx_ma = num,
+            "active_ma" => draft.active_ma = num,
+            "sleep_ua" => draft.sleep_ua = num,
+            _ => {
+                return Err(ParseLibraryError::Syntax {
+                    line: lineno,
+                    message: format!("unknown attribute `{}`", key),
+                })
+            }
+        }
+    }
+    if let Some(d) = current.take() {
+        components.push(d.finish()?);
+    }
+    Library::new(components).map_err(ParseLibraryError::Library)
+}
+
+/// Serializes a library to the text format (round-trips with
+/// [`parse_library`]).
+pub fn write_library(lib: &Library) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("# component library\n");
+    for c in lib.components() {
+        let _ = write!(
+            s,
+            "\n[component {}]\nkind = {}\ncost = {}\ntx_power_dbm = {}\nantenna_gain_dbi = {}\nradio_tx_ma = {}\nradio_rx_ma = {}\nactive_ma = {}\nsleep_ua = {}\n",
+            c.name,
+            c.kind,
+            c.cost,
+            c.tx_power_dbm,
+            c.antenna_gain_dbi,
+            c.radio_tx_ma,
+            c.radio_rx_ma,
+            c.active_ma,
+            c.sleep_ua
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    const SAMPLE: &str = r#"
+# two relays and a sink
+[component relay-basic]
+kind = relay
+cost = 20
+tx_power_dbm = 0
+radio_tx_ma = 25
+radio_rx_ma = 22
+active_ma = 8
+sleep_ua = 1.0
+
+[component relay-ant]
+kind = relay
+cost = 38
+tx_power_dbm = 4.5
+antenna_gain_dbi = 5
+
+[component sink]
+kind = sink
+cost = 80
+tx_power_dbm = 4.5
+"#;
+
+    #[test]
+    fn parse_sample() {
+        let lib = parse_library(SAMPLE).unwrap();
+        assert_eq!(lib.len(), 3);
+        let r = lib.by_name("relay-basic").unwrap();
+        assert_eq!(r.kind, DeviceKind::Relay);
+        assert_eq!(r.cost, 20.0);
+        assert_eq!(r.radio_tx_ma, 25.0);
+        let a = lib.by_name("relay-ant").unwrap();
+        assert_eq!(a.antenna_gain_dbi, 5.0);
+        assert_eq!(a.radio_tx_ma, 0.0); // defaulted
+    }
+
+    #[test]
+    fn missing_kind_rejected() {
+        let err = parse_library("[component x]\ncost = 5\n").unwrap_err();
+        assert!(matches!(err, ParseLibraryError::Component { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let err = parse_library("[component x]\nkind = relay\nwarp_core = 9\n").unwrap_err();
+        match err {
+            ParseLibraryError::Syntax { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("warp_core"));
+            }
+            other => panic!("unexpected error {:?}", other),
+        }
+    }
+
+    #[test]
+    fn attribute_outside_section_rejected() {
+        let err = parse_library("cost = 5\n").unwrap_err();
+        assert!(matches!(err, ParseLibraryError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = parse_library("[component x]\nkind = relay\ncost = cheap\n").unwrap_err();
+        assert!(matches!(err, ParseLibraryError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_at_library_level() {
+        let text = "[component x]\nkind = relay\n[component x]\nkind = sink\n";
+        assert!(matches!(
+            parse_library(text).unwrap_err(),
+            ParseLibraryError::Library(_)
+        ));
+    }
+
+    #[test]
+    fn catalog_roundtrips_through_text() {
+        let lib = catalog::zigbee_reference();
+        let text = write_library(&lib);
+        let back = parse_library(&text).unwrap();
+        assert_eq!(back.len(), lib.len());
+        for c in lib.components() {
+            let b = back.by_name(&c.name).unwrap();
+            assert_eq!(b, c, "component {} did not round-trip", c.name);
+        }
+    }
+}

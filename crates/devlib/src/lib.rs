@@ -1,0 +1,27 @@
+//! Wireless component libraries: devices with cost/RF/power attributes, a
+//! ZigBee-class reference catalog, and a plain-text library format.
+//!
+//! A [`Library`] is the paper's `L`: the pool of real devices that the
+//! mapping (sizing) step of the exploration assigns to template nodes.
+//!
+//! # Examples
+//!
+//! ```
+//! use devlib::{catalog, DeviceKind};
+//!
+//! let lib = catalog::zigbee_reference();
+//! let cheapest_relay = lib.cheapest_of(DeviceKind::Relay).unwrap();
+//! assert_eq!(cheapest_relay.name, "relay-basic");
+//! let text = devlib::write_library(&lib);
+//! let back = devlib::parse_library(&text).unwrap();
+//! assert_eq!(back.len(), lib.len());
+//! ```
+
+pub mod catalog;
+pub mod component;
+pub mod format;
+pub mod library;
+
+pub use component::{Component, DeviceKind};
+pub use format::{parse_library, write_library, ParseLibraryError};
+pub use library::{BuildLibraryError, Library};

@@ -1,0 +1,173 @@
+//! The component library: a validated, queryable collection of components.
+
+use crate::component::{Component, DeviceKind};
+
+/// Error when building a [`Library`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildLibraryError {
+    /// Two components share a name.
+    DuplicateName(String),
+    /// A component failed validation.
+    InvalidComponent(String),
+}
+
+impl std::fmt::Display for BuildLibraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildLibraryError::DuplicateName(n) => write!(f, "duplicate component name `{}`", n),
+            BuildLibraryError::InvalidComponent(m) => write!(f, "invalid component: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for BuildLibraryError {}
+
+/// A collection of components (the paper's library `L`).
+///
+/// # Examples
+///
+/// ```
+/// use devlib::{catalog, DeviceKind};
+///
+/// let lib = catalog::zigbee_reference();
+/// assert!(lib.of_kind(DeviceKind::Relay).count() >= 3);
+/// assert!(lib.by_name("relay-basic").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    components: Vec<Component>,
+}
+
+impl Library {
+    /// Builds a library, validating every component and name uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildLibraryError`] on duplicate names or invalid
+    /// attributes.
+    pub fn new(components: Vec<Component>) -> Result<Self, BuildLibraryError> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &components {
+            c.validate().map_err(BuildLibraryError::InvalidComponent)?;
+            if !seen.insert(c.name.clone()) {
+                return Err(BuildLibraryError::DuplicateName(c.name.clone()));
+            }
+        }
+        Ok(Library { components })
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when the library has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// All components in insertion order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Component at a dense index (stable across queries).
+    pub fn get(&self, idx: usize) -> Option<&Component> {
+        self.components.get(idx)
+    }
+
+    /// Looks a component up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Component> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a component by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.components.iter().position(|c| c.name == name)
+    }
+
+    /// Components implementing `kind`, as `(index, component)` pairs.
+    pub fn of_kind(&self, kind: DeviceKind) -> impl Iterator<Item = (usize, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.kind == kind)
+    }
+
+    /// The cheapest component of a kind.
+    pub fn cheapest_of(&self, kind: DeviceKind) -> Option<&Component> {
+        self.of_kind(kind)
+            .map(|(_, c)| c)
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
+    }
+
+    /// Maximum TX power + antenna gain over components of a kind — the best
+    /// possible effective radiated power, used for candidate-link pruning.
+    pub fn max_eirp_of(&self, kind: DeviceKind) -> Option<f64> {
+        self.of_kind(kind)
+            .map(|(_, c)| c.tx_power_dbm + c.antenna_gain_dbi)
+            .max_by(|a, b| a.partial_cmp(b).expect("powers are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(name: &str, kind: DeviceKind, cost: f64, tx: f64, gain: f64) -> Component {
+        Component {
+            name: name.into(),
+            kind,
+            cost,
+            tx_power_dbm: tx,
+            antenna_gain_dbi: gain,
+            radio_tx_ma: 25.0,
+            radio_rx_ma: 22.0,
+            active_ma: 8.0,
+            sleep_ua: 1.0,
+        }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let lib = Library::new(vec![
+            comp("a", DeviceKind::Relay, 20.0, 0.0, 0.0),
+            comp("b", DeviceKind::Relay, 30.0, 4.5, 0.0),
+            comp("s", DeviceKind::Sink, 80.0, 4.5, 5.0),
+        ])
+        .unwrap();
+        assert_eq!(lib.len(), 3);
+        assert_eq!(lib.of_kind(DeviceKind::Relay).count(), 2);
+        assert_eq!(lib.by_name("s").unwrap().cost, 80.0);
+        assert_eq!(lib.index_of("b"), Some(1));
+        assert_eq!(lib.cheapest_of(DeviceKind::Relay).unwrap().name, "a");
+        assert_eq!(lib.max_eirp_of(DeviceKind::Sink), Some(9.5));
+        assert!(lib.cheapest_of(DeviceKind::Anchor).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Library::new(vec![
+            comp("a", DeviceKind::Relay, 20.0, 0.0, 0.0),
+            comp("a", DeviceKind::Sink, 30.0, 0.0, 0.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, BuildLibraryError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn invalid_component_rejected() {
+        let mut c = comp("bad", DeviceKind::Relay, 20.0, 0.0, 0.0);
+        c.sleep_ua = -3.0;
+        assert!(matches!(
+            Library::new(vec![c]),
+            Err(BuildLibraryError::InvalidComponent(_))
+        ));
+    }
+
+    #[test]
+    fn empty_library_is_fine() {
+        let lib = Library::new(vec![]).unwrap();
+        assert!(lib.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Floor plans for indoor wireless deployment: 2-D geometry, walls with
+//! material attenuation, a minimal SVG subset parser/writer, and synthetic
+//! office-building generators.
+//!
+//! The multi-wall path-loss model of the `channel` crate queries
+//! [`FloorPlan::wall_loss_db`] for the total penetration loss along the
+//! straight ray between a transmitter and a receiver.
+//!
+//! # Examples
+//!
+//! ```
+//! use floorplan::generate::{office_floor, OfficeParams};
+//! use floorplan::Point;
+//!
+//! let plan = office_floor(&OfficeParams::default());
+//! // a link crossing room walls picks up attenuation
+//! let loss = plan.wall_loss_db(Point::new(5.0, 5.0), Point::new(25.0, 5.0));
+//! assert!(loss > 0.0);
+//! ```
+
+pub mod generate;
+pub mod geom;
+pub mod plan;
+pub mod svg;
+
+pub use geom::{Point, Segment};
+pub use plan::{FloorPlan, Marker, MarkerKind, Material, Wall};
+pub use svg::{parse_svg, write_svg, ParseSvgError, TopologyImage};

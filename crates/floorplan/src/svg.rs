@@ -1,0 +1,579 @@
+//! A minimal SVG subset parser and writer for floor plans and result
+//! figures.
+//!
+//! The paper's tool accepts floor plans as SVG files storing space
+//! dimensions, obstacles, and device locations. This module reads a small,
+//! documented subset — enough to express those plans — and writes plans and
+//! generated network topologies back out as standalone SVG documents
+//! (Figure 1 of the paper).
+//!
+//! ## Accepted input subset
+//!
+//! * `<svg width="W" height="H">` — plan dimensions in meters.
+//! * `<line x1 y1 x2 y2 class="wall MATERIAL">` — a wall.
+//! * `<rect x y width height class="wall MATERIAL">` — four walls.
+//! * `<circle cx cy class="KIND">` — a marker (`sensor`, `sink`, `relay`,
+//!   `anchor`, `eval`).
+//!
+//! Unknown elements and attributes are ignored.
+
+use crate::geom::{Point, Segment};
+use crate::plan::{FloorPlan, Marker, MarkerKind, Material, Wall};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Error from [`parse_svg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseSvgError {
+    /// The `<svg>` root element is missing.
+    MissingRoot,
+    /// The root lacks usable `width`/`height` attributes.
+    MissingDimensions,
+    /// A malformed tag was encountered.
+    Malformed {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseSvgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseSvgError::MissingRoot => write!(f, "missing <svg> root element"),
+            ParseSvgError::MissingDimensions => {
+                write!(f, "svg root lacks width/height attributes")
+            }
+            ParseSvgError::Malformed { offset, message } => {
+                write!(f, "malformed svg at byte {}: {}", offset, message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseSvgError {}
+
+/// One parsed tag: name + attributes.
+#[derive(Debug, Clone)]
+struct Tag {
+    name: String,
+    attrs: HashMap<String, String>,
+}
+
+/// Scans the input for start tags (self-closing or not) and returns them in
+/// order. Comments and closing tags are skipped.
+fn scan_tags(input: &str) -> Result<Vec<(usize, Tag)>, ParseSvgError> {
+    let bytes = input.as_bytes();
+    let mut tags = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // comment?
+        if input[i..].starts_with("<!--") {
+            match input[i..].find("-->") {
+                Some(end) => {
+                    i += end + 3;
+                    continue;
+                }
+                None => {
+                    return Err(ParseSvgError::Malformed {
+                        offset: i,
+                        message: "unterminated comment".into(),
+                    })
+                }
+            }
+        }
+        // declaration or closing tag: skip to '>'
+        if input[i..].starts_with("<?") || input[i..].starts_with("</") || input[i..].starts_with("<!") {
+            match input[i..].find('>') {
+                Some(end) => {
+                    i += end + 1;
+                    continue;
+                }
+                None => {
+                    return Err(ParseSvgError::Malformed {
+                        offset: i,
+                        message: "unterminated tag".into(),
+                    })
+                }
+            }
+        }
+        let close = input[i..].find('>').ok_or(ParseSvgError::Malformed {
+            offset: i,
+            message: "unterminated tag".into(),
+        })?;
+        let inner = &input[i + 1..i + close];
+        let inner = inner.strip_suffix('/').unwrap_or(inner);
+        let tag = parse_tag(inner, i)?;
+        tags.push((i, tag));
+        i += close + 1;
+    }
+    Ok(tags)
+}
+
+fn parse_tag(inner: &str, offset: usize) -> Result<Tag, ParseSvgError> {
+    let mut chars = inner.char_indices().peekable();
+    // name
+    let name_end = inner
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(inner.len());
+    let name = inner[..name_end].to_ascii_lowercase();
+    if name.is_empty() {
+        return Err(ParseSvgError::Malformed {
+            offset,
+            message: "empty tag name".into(),
+        });
+    }
+    // attributes
+    let mut attrs = HashMap::new();
+    while let Some(&(pos, c)) = chars.peek() {
+        if pos < name_end || c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        // key
+        let key_start = pos;
+        let mut key_end = key_start;
+        while let Some(&(p, ch)) = chars.peek() {
+            if ch == '=' || ch.is_whitespace() {
+                key_end = p;
+                break;
+            }
+            chars.next();
+            key_end = p + ch.len_utf8();
+        }
+        let key = inner[key_start..key_end].to_ascii_lowercase();
+        // skip to '='
+        let mut has_eq = false;
+        while let Some(&(_, ch)) = chars.peek() {
+            if ch == '=' {
+                chars.next();
+                has_eq = true;
+                break;
+            } else if ch.is_whitespace() {
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if !has_eq {
+            // attribute without value; store empty
+            if !key.is_empty() {
+                attrs.insert(key, String::new());
+            }
+            continue;
+        }
+        // skip whitespace, expect quote
+        while let Some(&(_, ch)) = chars.peek() {
+            if ch.is_whitespace() {
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let quote = match chars.next() {
+            Some((_, q @ ('"' | '\''))) => q,
+            _ => {
+                return Err(ParseSvgError::Malformed {
+                    offset,
+                    message: format!("attribute `{}` value must be quoted", key),
+                })
+            }
+        };
+        let mut value = String::new();
+        let mut closed = false;
+        for (_, ch) in chars.by_ref() {
+            if ch == quote {
+                closed = true;
+                break;
+            }
+            value.push(ch);
+        }
+        if !closed {
+            return Err(ParseSvgError::Malformed {
+                offset,
+                message: format!("unterminated value for `{}`", key),
+            });
+        }
+        attrs.insert(key, value);
+    }
+    Ok(Tag { name, attrs })
+}
+
+fn num(tag: &Tag, key: &str) -> Option<f64> {
+    let raw = tag.attrs.get(key)?;
+    // strip trailing units like "80m" / "80px"
+    let trimmed: String = raw
+        .trim()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+')
+        .collect();
+    trimmed.parse().ok()
+}
+
+fn classes(tag: &Tag) -> Vec<String> {
+    tag.attrs
+        .get("class")
+        .map(|c| c.split_whitespace().map(|s| s.to_string()).collect())
+        .unwrap_or_default()
+}
+
+/// Parses a floor plan from SVG text.
+///
+/// # Errors
+///
+/// Returns [`ParseSvgError`] when the root element or its dimensions are
+/// missing, or when a tag is malformed. Elements that do not match the
+/// accepted subset are silently ignored (like a browser would).
+pub fn parse_svg(input: &str) -> Result<FloorPlan, ParseSvgError> {
+    let tags = scan_tags(input)?;
+    let root = tags
+        .iter()
+        .find(|(_, t)| t.name == "svg")
+        .ok_or(ParseSvgError::MissingRoot)?;
+    let width = num(&root.1, "width").ok_or(ParseSvgError::MissingDimensions)?;
+    let height = num(&root.1, "height").ok_or(ParseSvgError::MissingDimensions)?;
+    if width <= 0.0 || height <= 0.0 {
+        return Err(ParseSvgError::MissingDimensions);
+    }
+    let mut plan = FloorPlan::new(width, height);
+    for (offset, tag) in &tags {
+        let cls = classes(tag);
+        match tag.name.as_str() {
+            "line" if cls.iter().any(|c| c == "wall") => {
+                let material = cls
+                    .iter()
+                    .filter_map(|c| Material::from_name(c))
+                    .next()
+                    .unwrap_or(Material::Brick);
+                let (x1, y1, x2, y2) = match (
+                    num(tag, "x1"),
+                    num(tag, "y1"),
+                    num(tag, "x2"),
+                    num(tag, "y2"),
+                ) {
+                    (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                    _ => {
+                        return Err(ParseSvgError::Malformed {
+                            offset: *offset,
+                            message: "wall line needs x1/y1/x2/y2".into(),
+                        })
+                    }
+                };
+                plan.add_wall(Wall {
+                    segment: Segment::new(Point::new(x1, y1), Point::new(x2, y2)),
+                    material,
+                });
+            }
+            "rect" if cls.iter().any(|c| c == "wall") => {
+                let material = cls
+                    .iter()
+                    .filter_map(|c| Material::from_name(c))
+                    .next()
+                    .unwrap_or(Material::Brick);
+                let (x, y, w, h) = match (
+                    num(tag, "x"),
+                    num(tag, "y"),
+                    num(tag, "width"),
+                    num(tag, "height"),
+                ) {
+                    (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                    _ => {
+                        return Err(ParseSvgError::Malformed {
+                            offset: *offset,
+                            message: "wall rect needs x/y/width/height".into(),
+                        })
+                    }
+                };
+                let corners = [
+                    Point::new(x, y),
+                    Point::new(x + w, y),
+                    Point::new(x + w, y + h),
+                    Point::new(x, y + h),
+                ];
+                for i in 0..4 {
+                    plan.add_wall(Wall {
+                        segment: Segment::new(corners[i], corners[(i + 1) % 4]),
+                        material,
+                    });
+                }
+            }
+            "circle" => {
+                if let Some(kind) = cls.iter().filter_map(|c| MarkerKind::from_name(c)).next() {
+                    let (cx, cy) = match (num(tag, "cx"), num(tag, "cy")) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => {
+                            return Err(ParseSvgError::Malformed {
+                                offset: *offset,
+                                message: "marker circle needs cx/cy".into(),
+                            })
+                        }
+                    };
+                    plan.add_marker(Marker {
+                        position: Point::new(cx, cy),
+                        kind,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(plan)
+}
+
+fn marker_color(kind: MarkerKind) -> &'static str {
+    match kind {
+        MarkerKind::Sensor => "#2a9d2a",
+        MarkerKind::Sink => "#d62828",
+        MarkerKind::Relay => "#bbbbbb",
+        MarkerKind::Anchor => "#1d5fbf",
+        MarkerKind::EvalPoint => "#e8a117",
+    }
+}
+
+fn material_stroke(material: Material) -> (&'static str, f64) {
+    match material {
+        Material::Concrete => ("#222222", 0.35),
+        Material::Brick => ("#7a4a2b", 0.25),
+        Material::Drywall => ("#888888", 0.15),
+        Material::Glass => ("#74b4d4", 0.12),
+        Material::Wood => ("#a87d4f", 0.15),
+        Material::Custom(_) => ("#555555", 0.2),
+    }
+}
+
+/// Serializes a floor plan (walls + markers) as a standalone SVG document.
+pub fn write_svg(plan: &FloorPlan) -> String {
+    TopologyImage::new(plan).render()
+}
+
+/// Builder for result figures: a plan plus highlighted nodes and links
+/// (used to regenerate Figure 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct TopologyImage<'a> {
+    plan: &'a FloorPlan,
+    extra_nodes: Vec<(Point, MarkerKind, String)>,
+    links: Vec<(Point, Point, String)>,
+    title: Option<String>,
+}
+
+impl<'a> TopologyImage<'a> {
+    /// Starts a figure over `plan`.
+    pub fn new(plan: &'a FloorPlan) -> Self {
+        TopologyImage {
+            plan,
+            extra_nodes: Vec::new(),
+            links: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets the figure title (rendered above the plan).
+    pub fn with_title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Highlights a node with a label.
+    pub fn add_node(&mut self, p: Point, kind: MarkerKind, label: impl Into<String>) {
+        self.extra_nodes.push((p, kind, label.into()));
+    }
+
+    /// Draws a link between two points with a CSS color.
+    pub fn add_link(&mut self, a: Point, b: Point, color: impl Into<String>) {
+        self.links.push((a, b, color.into()));
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        let scale = 12.0; // px per meter
+        let pad = 12.0;
+        let title_h = if self.title.is_some() { 24.0 } else { 0.0 };
+        let w = self.plan.width() * scale + 2.0 * pad;
+        let h = self.plan.height() * scale + 2.0 * pad + title_h;
+        let tx = |p: Point| (pad + p.x * scale, pad + title_h + p.y * scale);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+            w, h, w, h
+        );
+        let _ = writeln!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        if let Some(t) = &self.title {
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="16" font-family="sans-serif" font-size="13">{}</text>"#,
+                pad, t
+            );
+        }
+        // plan outline
+        let (ox, oy) = tx(Point::new(0.0, 0.0));
+        let _ = writeln!(
+            s,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#444" stroke-width="1.5"/>"##,
+            ox,
+            oy,
+            self.plan.width() * scale,
+            self.plan.height() * scale
+        );
+        // walls
+        for wall in self.plan.walls() {
+            let (c, wpx) = material_stroke(wall.material);
+            let (x1, y1) = tx(wall.segment.a);
+            let (x2, y2) = tx(wall.segment.b);
+            let _ = writeln!(
+                s,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="{:.1}"/>"#,
+                x1,
+                y1,
+                x2,
+                y2,
+                c,
+                wpx * scale
+            );
+        }
+        // links under nodes
+        for (a, b, color) in &self.links {
+            let (x1, y1) = tx(*a);
+            let (x2, y2) = tx(*b);
+            let _ = writeln!(
+                s,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1.2" opacity="0.8"/>"#,
+                x1, y1, x2, y2, color
+            );
+        }
+        // plan markers
+        for m in self.plan.markers() {
+            let (cx, cy) = tx(m.position);
+            let _ = writeln!(
+                s,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}" class="{}"/>"#,
+                cx,
+                cy,
+                marker_color(m.kind),
+                m.kind.name()
+            );
+        }
+        // highlighted nodes
+        for (p, kind, label) in &self.extra_nodes {
+            let (cx, cy) = tx(*p);
+            let _ = writeln!(
+                s,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="4.5" fill="{}" stroke="#000" stroke-width="0.6" class="{}"/>"##,
+                cx,
+                cy,
+                marker_color(*kind),
+                kind.name()
+            );
+            if !label.is_empty() {
+                let _ = writeln!(
+                    s,
+                    r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="8">{}</text>"#,
+                    cx + 5.0,
+                    cy - 3.0,
+                    label
+                );
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<!-- floor plan sample -->
+<svg width="20m" height="10" xmlns="http://www.w3.org/2000/svg">
+  <line class="wall concrete" x1="10" y1="0" x2="10" y2="4"/>
+  <line class="wall concrete" x1="10" y1="6" x2="10" y2="10"/>
+  <rect class="wall drywall" x="2" y="2" width="4" height="3"/>
+  <circle class="sensor" cx="1" cy="1" r="0.2"/>
+  <circle class="sink" cx="19" cy="9" r="0.2"/>
+  <circle class="decoration" cx="5" cy="5" r="0.2"/>
+  <text>ignored</text>
+</svg>"#;
+
+    #[test]
+    fn parse_sample_plan() {
+        let plan = parse_svg(SAMPLE).unwrap();
+        assert_eq!(plan.width(), 20.0);
+        assert_eq!(plan.height(), 10.0);
+        // 2 line walls + 4 rect walls
+        assert_eq!(plan.walls().len(), 6);
+        assert_eq!(plan.markers().len(), 2); // decoration circle ignored
+        assert_eq!(plan.markers()[0].kind, MarkerKind::Sensor);
+        assert_eq!(plan.markers()[1].kind, MarkerKind::Sink);
+    }
+
+    #[test]
+    fn parsed_walls_attenuate() {
+        let plan = parse_svg(SAMPLE).unwrap();
+        let loss = plan.wall_loss_db(Point::new(8.0, 2.0), Point::new(12.0, 2.0));
+        assert_eq!(loss, 12.0); // one concrete wall
+    }
+
+    #[test]
+    fn missing_root_rejected() {
+        assert!(matches!(
+            parse_svg("<line x1='0'/>"),
+            Err(ParseSvgError::MissingRoot)
+        ));
+    }
+
+    #[test]
+    fn missing_dimensions_rejected() {
+        assert!(matches!(
+            parse_svg("<svg></svg>"),
+            Err(ParseSvgError::MissingDimensions)
+        ));
+    }
+
+    #[test]
+    fn malformed_wall_reports_offset() {
+        let bad = r#"<svg width="5" height="5"><line class="wall" x1="1"/></svg>"#;
+        assert!(matches!(
+            parse_svg(bad),
+            Err(ParseSvgError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_write_then_parse() {
+        let plan = parse_svg(SAMPLE).unwrap();
+        let out = write_svg(&plan);
+        // the writer emits pixel coordinates, not meter coordinates, so a
+        // re-parse will not reproduce the plan; but the document must be
+        // structurally sound and contain our markers
+        assert!(out.starts_with("<svg"));
+        assert!(out.contains("class=\"sensor\""));
+        assert!(out.contains("class=\"sink\""));
+        assert!(out.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn topology_image_includes_links_and_labels() {
+        let plan = parse_svg(SAMPLE).unwrap();
+        let mut img = TopologyImage::new(&plan).with_title("Generated topology");
+        img.add_node(Point::new(3.0, 3.0), MarkerKind::Relay, "R1");
+        img.add_link(Point::new(1.0, 1.0), Point::new(3.0, 3.0), "#0a0");
+        let svg = img.render();
+        assert!(svg.contains("Generated topology"));
+        assert!(svg.contains("R1"));
+        assert!(svg.contains("class=\"relay\""));
+    }
+
+    #[test]
+    fn quoted_attribute_variants() {
+        let s = r#"<svg width='7' height='3'><circle class='relay' cx='1' cy='2' r='1'/></svg>"#;
+        let plan = parse_svg(s).unwrap();
+        assert_eq!(plan.width(), 7.0);
+        assert_eq!(plan.markers().len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the geometry and SVG layers.
+
+use floorplan::generate::{office_floor, position_grid, OfficeParams};
+use floorplan::{parse_svg, write_svg, FloorPlan, Material, Point, Segment, Wall};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn crossing_is_symmetric(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.crosses(s2), s2.crosses(s1));
+    }
+
+    #[test]
+    fn translation_invariance(a in pt(), b in pt(), c in pt(), d in pt(),
+                              dx in -10.0..10.0f64, dy in -10.0..10.0f64) {
+        let t = Point::new(dx, dy);
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let s1t = Segment::new(a + t, b + t);
+        let s2t = Segment::new(c + t, d + t);
+        prop_assert_eq!(s1.crosses(s2), s1t.crosses(s2t));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn wall_loss_additive(y in 1.0..9.0f64, n in 0usize..5) {
+        let mut plan = FloorPlan::new(100.0, 10.0);
+        for i in 0..n {
+            plan.add_wall(Wall {
+                segment: Segment::new(
+                    Point::new(10.0 + 15.0 * i as f64, 0.0),
+                    Point::new(10.0 + 15.0 * i as f64, 10.0),
+                ),
+                material: Material::Drywall,
+            });
+        }
+        let loss = plan.wall_loss_db(Point::new(0.0, y), Point::new(99.0, y));
+        prop_assert!((loss - 3.5 * n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_grid_within_margins(nx in 1usize..8, ny in 1usize..8, margin in 0.0..5.0f64) {
+        let plan = FloorPlan::new(40.0, 30.0);
+        let pts = position_grid(&plan, nx, ny, margin);
+        prop_assert_eq!(pts.len(), nx * ny);
+        for p in pts {
+            prop_assert!(p.x >= margin - 1e-9 && p.x <= 40.0 - margin + 1e-9);
+            prop_assert!(p.y >= margin - 1e-9 && p.y <= 30.0 - margin + 1e-9);
+            prop_assert!(plan.contains(p));
+        }
+    }
+
+    #[test]
+    fn office_floor_valid_for_params(rooms in 1usize..10, corridor in 2.0..10.0f64) {
+        let p = OfficeParams {
+            rooms_per_band: rooms,
+            corridor_height: corridor,
+            ..Default::default()
+        };
+        let plan = office_floor(&p);
+        // all walls stay within the plan bounds
+        for w in plan.walls() {
+            prop_assert!(plan.contains(w.segment.a));
+            prop_assert!(plan.contains(w.segment.b));
+        }
+        // the corridor centerline stays wall-free
+        let mid = (45.0 - corridor) / 2.0 + corridor / 2.0;
+        prop_assert_eq!(
+            plan.crossing_count(Point::new(1.0, mid), Point::new(79.0, mid)),
+            0
+        );
+    }
+
+    #[test]
+    fn svg_writer_output_reparses_as_xmlish(walls in 0usize..5) {
+        let mut plan = FloorPlan::new(20.0, 10.0);
+        for i in 0..walls {
+            plan.add_wall(Wall {
+                segment: Segment::new(
+                    Point::new(2.0 + i as f64 * 3.0, 1.0),
+                    Point::new(2.0 + i as f64 * 3.0, 9.0),
+                ),
+                material: Material::Glass,
+            });
+        }
+        let svg = write_svg(&plan);
+        // the writer's output is at pixel scale; parsing must still succeed
+        // structurally (root + dimensions present)
+        let reparsed = parse_svg(&svg);
+        prop_assert!(reparsed.is_ok(), "unparseable output: {:?}", reparsed.err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Symbolic MILP modeling layer (the stack's YALMIP analog).
+//!
+//! This crate sits between the raw [`milp`] solver and the architecture
+//! exploration core. It provides:
+//!
+//! * [`LinExpr`] — affine expressions over model variables with natural
+//!   operator syntax (`2.0 * x + y - 3.0`),
+//! * [`Model`] — variable/constraint/objective construction that compiles
+//!   directly into a [`milp::Problem`],
+//! * exact **linearizations** of logical and bilinear constructs
+//!   ([`Model::and2`], [`Model::or_all`], [`Model::gate`],
+//!   [`Model::indicator_leq`], …) used to encode the paper's link-quality,
+//!   energy, and localization constraints,
+//! * **piecewise-linear envelopes** ([`Model::pwl_convex_lower`]) used for
+//!   the convex `ETX(SNR)` expected-transmissions curve.
+//!
+//! # Examples
+//!
+//! ```
+//! use lpmodel::{Model, LinExpr};
+//! use milp::Config;
+//!
+//! // Select the cheaper of two gadgets, but gadget B needs a license.
+//! let mut m = Model::minimize();
+//! let a = m.binary("gadget_a");
+//! let b = m.binary("gadget_b");
+//! let lic = m.binary("license");
+//! m.add((a + b).eq(1.0));              // pick exactly one
+//! m.add((LinExpr::from(b) - lic).leq(0.0)); // b implies license
+//! m.set_objective(3.0 * a + 1.0 * b + 1.5 * lic);
+//! let sol = m.solve(&Config::default());
+//! assert!(sol.is_optimal());
+//! assert!(sol.is_one(b)); // 1 + 1.5 = 2.5 beats 3
+//! ```
+
+pub mod expr;
+pub mod linearize;
+pub mod model;
+pub mod pwl;
+
+pub use expr::{sum, Cons, LinExpr, Vid};
+pub use model::{Model, ModelSolution};
+pub use pwl::Pwl;

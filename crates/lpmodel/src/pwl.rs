@@ -1,0 +1,249 @@
+//! Piecewise-linear envelopes for convex/concave nonlinear functions.
+//!
+//! The energy constraints of the paper need the expected-transmission-count
+//! function `ETX(SNR)`, which is convex and decreasing over the operating
+//! range. A convex function bounded from below by its chords' max can be
+//! modeled **without integer variables**: introduce `y` and require
+//! `y >= a_i x + b_i` for every segment line. When `y` is pushed down by the
+//! objective or an upper-bounding constraint, it settles exactly on the
+//! piecewise-linear interpolant.
+
+use crate::expr::{LinExpr, Vid};
+use crate::model::Model;
+
+/// A piecewise-linear function described by breakpoints, used to build
+/// envelope encodings. Breakpoints must be strictly increasing in `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    points: Vec<(f64, f64)>,
+}
+
+impl Pwl {
+    /// Creates a PWL description from breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, any value is non-finite,
+    /// or `x` coordinates are not strictly increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two breakpoints");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0.is_finite() && w[0].1.is_finite() && w[1].0.is_finite() && w[1].1.is_finite(),
+                "breakpoints must be finite"
+            );
+            assert!(
+                w[1].0 > w[0].0,
+                "breakpoints must be strictly increasing in x"
+            );
+        }
+        Pwl { points }
+    }
+
+    /// Samples a function uniformly over `[lo, hi]` into `n` breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `lo >= hi`.
+    pub fn sample(f: impl Fn(f64) -> f64, lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n >= 2 && hi > lo);
+        let pts = (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, f(x))
+            })
+            .collect();
+        Pwl::new(pts)
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the PWL interpolant (clamping outside the range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            if x <= w[1].0 {
+                let t = (x - w[0].0) / (w[1].0 - w[0].0);
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        unreachable!()
+    }
+
+    /// Segment lines as `(slope, intercept)` pairs.
+    pub fn segments(&self) -> Vec<(f64, f64)> {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let a = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+                let b = w[0].1 - a * w[0].0;
+                (a, b)
+            })
+            .collect()
+    }
+
+    /// Checks that the breakpoints describe a convex shape (non-decreasing
+    /// slopes) within `tol`.
+    pub fn is_convex(&self, tol: f64) -> bool {
+        let seg = self.segments();
+        seg.windows(2).all(|w| w[1].0 >= w[0].0 - tol)
+    }
+}
+
+impl Model {
+    /// Adds a continuous `y` with `y >= pwl(x_expr)` for a **convex** PWL
+    /// function, encoded as one `>=` constraint per segment (no binaries).
+    ///
+    /// The encoding is exact on the lower side: any feasible `y` is at least
+    /// the interpolant, and minimizing pressure makes it equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breakpoints are not convex.
+    pub fn pwl_convex_lower(&mut self, x_expr: &LinExpr, pwl: &Pwl) -> Vid {
+        assert!(
+            pwl.is_convex(1e-9),
+            "pwl_convex_lower requires convex breakpoints"
+        );
+        let ymax = pwl
+            .points()
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ymin = pwl
+            .points()
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min);
+        let name = self.fresh_name("pwl");
+        // generous headroom above: the envelope only binds from below
+        let y = self.cont(name, ymin.min(0.0), ymax.abs().max(1.0) * 1e4);
+        for (a, b) in pwl.segments() {
+            // y >= a*x + b
+            self.add((LinExpr::from(y) - x_expr.clone() * a).geq(b));
+        }
+        y
+    }
+
+    /// Adds a continuous `y` with `y <= pwl(x_expr)` for a **concave** PWL
+    /// function (one `<=` constraint per segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breakpoints are not concave.
+    pub fn pwl_concave_upper(&mut self, x_expr: &LinExpr, pwl: &Pwl) -> Vid {
+        let seg = pwl.segments();
+        assert!(
+            seg.windows(2).all(|w| w[1].0 <= w[0].0 + 1e-9),
+            "pwl_concave_upper requires concave breakpoints"
+        );
+        let ymax = pwl
+            .points()
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ymin = pwl
+            .points()
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min);
+        let name = self.fresh_name("pwlc");
+        let y = self.cont(name, -(ymin.abs().max(1.0)) * 1e4, ymax.max(0.0));
+        for (a, b) in seg {
+            self.add((LinExpr::from(y) - x_expr.clone() * a).leq(b));
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milp::Config;
+
+    #[test]
+    fn pwl_eval_interpolates() {
+        let p = Pwl::new(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(p.eval(-1.0), 0.0);
+        assert_eq!(p.eval(0.5), 1.0);
+        assert_eq!(p.eval(2.0), 2.0);
+        assert_eq!(p.eval(5.0), 2.0);
+    }
+
+    #[test]
+    fn sample_quadratic_is_convex() {
+        let p = Pwl::sample(|x| x * x, -2.0, 2.0, 9);
+        assert!(p.is_convex(1e-12));
+        assert!((p.eval(0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convex_lower_settles_on_interpolant() {
+        // minimize y with y >= |x|-like convex pwl and x fixed
+        for xval in [-1.5f64, 0.0, 0.75, 2.0] {
+            let mut m = Model::minimize();
+            let x = m.cont("x", -2.0, 2.0);
+            let p = Pwl::sample(|t| t.abs(), -2.0, 2.0, 5);
+            let y = m.pwl_convex_lower(&LinExpr::from(x), &p);
+            m.fix(x, xval);
+            m.set_objective(LinExpr::from(y));
+            let s = m.solve(&Config::default());
+            assert!(s.is_optimal());
+            let want = p.eval(xval);
+            assert!(
+                (s.value(y) - want).abs() < 1e-6,
+                "pwl({}) = {}, want {}",
+                xval,
+                s.value(y),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn concave_upper_settles_on_interpolant() {
+        // maximize y with y <= concave sqrt-like pwl
+        for xval in [0.0f64, 1.0, 2.5, 4.0] {
+            let mut m = Model::maximize();
+            let x = m.cont("x", 0.0, 4.0);
+            let p = Pwl::sample(|t| (t + 0.01).sqrt(), 0.0, 4.0, 9);
+            let y = m.pwl_concave_upper(&LinExpr::from(x), &p);
+            m.fix(x, xval);
+            m.set_objective(LinExpr::from(y));
+            let s = m.solve(&Config::default());
+            assert!(s.is_optimal());
+            let want = p.eval(xval);
+            assert!(
+                (s.value(y) - want).abs() < 1e-5,
+                "pwl({}) = {}, want {}",
+                xval,
+                s.value(y),
+                want
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_breakpoints_rejected() {
+        let _ = Pwl::new(vec![(0.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "convex")]
+    fn concave_rejected_by_convex_encoder() {
+        let mut m = Model::minimize();
+        let x = m.cont("x", 0.0, 4.0);
+        let p = Pwl::sample(|t| (t + 0.01).sqrt(), 0.0, 4.0, 9);
+        let _ = m.pwl_convex_lower(&LinExpr::from(x), &p);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: the linearization gadgets are exact at integral points.
+
+use lpmodel::{LinExpr, Model};
+use milp::Config;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// gate(b, expr) == b * expr for arbitrary bounded affine expressions.
+    #[test]
+    fn gate_is_exact_product(
+        bval in 0u8..=1,
+        coef in -3.0..3.0f64,
+        konst in -2.0..2.0f64,
+        lo in -4.0..0.0f64,
+        span in 0.1..6.0f64,
+        frac in 0.0..1.0f64,
+    ) {
+        let hi = lo + span;
+        let xval = lo + frac * span;
+        let mut m = Model::minimize();
+        let b = m.binary("b");
+        let x = m.cont("x", lo, hi);
+        let e = coef * x + konst;
+        let w = m.gate(b, &e);
+        m.fix(b, bval as f64);
+        m.fix(x, xval);
+        let sol = m.solve(&Config::default());
+        prop_assert!(sol.has_solution());
+        let want = bval as f64 * (coef * xval + konst);
+        prop_assert!((sol.value(w) - want).abs() < 1e-6,
+            "gate = {}, want {}", sol.value(w), want);
+    }
+
+    /// and/or gadgets agree with boolean semantics for up to 4 inputs.
+    #[test]
+    fn and_or_match_semantics(bits in prop::collection::vec(0u8..=1, 2..=4)) {
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..bits.len()).map(|i| m.binary(format!("x{i}"))).collect();
+        let and = m.and_all(&vars);
+        let or = m.or_all(&vars);
+        for (v, &b) in vars.iter().zip(&bits) {
+            m.fix(*v, b as f64);
+        }
+        let sol = m.solve(&Config::default());
+        prop_assert!(sol.has_solution());
+        let want_and = bits.iter().all(|&b| b == 1);
+        let want_or = bits.iter().any(|&b| b == 1);
+        prop_assert_eq!(sol.is_one(and), want_and);
+        prop_assert_eq!(sol.is_one(or), want_or);
+    }
+
+    /// indicator_leq binds exactly when the guard is 1.
+    #[test]
+    fn indicator_leq_semantics(
+        bval in 0u8..=1,
+        rhs in -1.0..4.0f64,
+    ) {
+        let mut m = Model::maximize();
+        let b = m.binary("b");
+        let x = m.cont("x", -2.0, 5.0);
+        m.indicator_leq(b, &LinExpr::from(x), rhs);
+        m.set_objective(LinExpr::from(x));
+        m.fix(b, bval as f64);
+        let sol = m.solve(&Config::default());
+        prop_assert!(sol.has_solution());
+        let want = if bval == 1 { rhs } else { 5.0 };
+        prop_assert!((sol.value(x) - want).abs() < 1e-6,
+            "x = {}, want {}", sol.value(x), want);
+    }
+
+    /// Expression algebra: (a + b) - b == a on random expressions.
+    #[test]
+    fn expr_algebra_roundtrip(
+        ca in -5.0..5.0f64,
+        cb in -5.0..5.0f64,
+        ka in -5.0..5.0f64,
+        kb in -5.0..5.0f64,
+    ) {
+        let mut m = Model::minimize();
+        let x = m.cont("x", 0.0, 1.0);
+        let y = m.cont("y", 0.0, 1.0);
+        let a = ca * x + ka;
+        let b = cb * y + kb;
+        let back = (a.clone() + b.clone()) - b;
+        prop_assert!((back.coef(x) - a.coef(x)).abs() < 1e-12);
+        prop_assert!((back.coef(y)).abs() < 1e-12);
+        prop_assert!((back.constant() - a.constant()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,646 @@
+//! LP-based branch and bound.
+//!
+//! The driver presolves the problem, builds the computational LP form once,
+//! and explores a tree of bound-tightened LP relaxations. Nodes carry their
+//! bound *deltas* from the root plus a shared warm-start basis, so node
+//! storage stays small. Node selection is best-bound with depth-first
+//! plunging by default; branching uses pseudo-costs with a most-fractional
+//! fallback.
+
+use crate::config::{Branching, Config, NodeSelection};
+use crate::heur;
+use crate::presolve::{presolve, Presolved};
+use crate::problem::{Problem, Sense, VarId, VarType};
+use crate::simplex::{solve_lp, LpData, LpStatus, VStat};
+use crate::solution::{Solution, Stats, Status};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One open node: bound changes relative to the root plus bookkeeping.
+struct Node {
+    /// `(var, new_lb, new_ub)` tightenings along the path from the root.
+    changes: Vec<(usize, f64, f64)>,
+    /// LP bound inherited from the parent (internal minimize sense).
+    bound: f64,
+    depth: usize,
+    /// Warm-start statuses shared with the sibling.
+    warm: Option<Rc<Vec<VStat>>>,
+}
+
+/// Max-heap adapter: we want the node with the *smallest* bound on top.
+struct HeapNode(Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: smaller bound = greater priority
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.0.depth.cmp(&self.0.depth))
+    }
+}
+
+/// Per-variable pseudo-cost records.
+struct PseudoCosts {
+    up_sum: Vec<f64>,
+    up_cnt: Vec<usize>,
+    down_sum: Vec<f64>,
+    down_cnt: Vec<usize>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> Self {
+        PseudoCosts {
+            up_sum: vec![0.0; n],
+            up_cnt: vec![0; n],
+            down_sum: vec![0.0; n],
+            down_cnt: vec![0; n],
+        }
+    }
+
+    fn record(&mut self, var: usize, up: bool, degradation_per_frac: f64) {
+        let d = degradation_per_frac.max(0.0);
+        if up {
+            self.up_sum[var] += d;
+            self.up_cnt[var] += 1;
+        } else {
+            self.down_sum[var] += d;
+            self.down_cnt[var] += 1;
+        }
+    }
+
+    fn score(&self, var: usize, frac: f64) -> f64 {
+        let eps = 1e-6;
+        let up = if self.up_cnt[var] > 0 {
+            self.up_sum[var] / self.up_cnt[var] as f64
+        } else {
+            1.0
+        };
+        let down = if self.down_cnt[var] > 0 {
+            self.down_sum[var] / self.down_cnt[var] as f64
+        } else {
+            1.0
+        };
+        (up * (1.0 - frac)).max(eps) * (down * frac).max(eps)
+    }
+
+    fn initialized(&self, var: usize) -> bool {
+        self.up_cnt[var] > 0 || self.down_cnt[var] > 0
+    }
+}
+
+/// Solves `problem` by presolve + branch and bound. `start` anchors the time
+/// limit. Called through [`crate::Solver::solve`].
+pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
+    let deadline = cfg.time_limit.map(|d| start + d);
+    let minimize = problem.sense() == Sense::Minimize;
+    let mut stats = Stats::default();
+
+    // --- Presolve ---
+    let ps: Presolved = if cfg.presolve {
+        presolve(problem, minimize)
+    } else {
+        identity_presolved(problem)
+    };
+    stats.presolve_rows_removed = ps.rows_removed;
+    stats.presolve_vars_removed = ps.vars_removed;
+    if let Some(conclusion) = ps.conclusion {
+        stats.elapsed = start.elapsed();
+        return match conclusion {
+            Status::Infeasible => Solution::infeasible(stats),
+            Status::Unbounded => Solution::unbounded(stats),
+            _ => unreachable!("presolve only concludes infeasible/unbounded"),
+        };
+    }
+    let reduced = &ps.reduced;
+
+    // --- Build internal (minimize) LP form ---
+    let n = reduced.num_vars();
+    let sign = if minimize { 1.0 } else { -1.0 };
+    let c: Vec<f64> = reduced.objective().iter().map(|&v| sign * v).collect();
+    let (row_lb, row_ub): (Vec<f64>, Vec<f64>) =
+        reduced.row_ids().map(|r| reduced.row_bounds(r)).unzip();
+    let lp = LpData {
+        a: reduced.matrix(),
+        c,
+        row_lb,
+        row_ub,
+    };
+    let root_lb: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).0).collect();
+    let root_ub: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).1).collect();
+    let int_vars: Vec<usize> = (0..n)
+        .filter(|&j| reduced.var_type(VarId(j)) != VarType::Continuous)
+        .collect();
+
+    // Finishing helper: translate internal objective to user sense.
+    let user_obj = |internal: f64| sign * internal + reduced.obj_offset();
+
+    // --- Root LP ---
+    stats.lp_solves += 1;
+    let root = solve_lp(&lp, &root_lb, &root_ub, cfg, None, deadline);
+    stats.simplex_iters += root.iters;
+    match root.status {
+        LpStatus::Infeasible => {
+            stats.nodes = 1;
+            stats.elapsed = start.elapsed();
+            return Solution::infeasible(stats);
+        }
+        LpStatus::Unbounded => {
+            stats.nodes = 1;
+            stats.elapsed = start.elapsed();
+            return Solution::unbounded(stats);
+        }
+        LpStatus::Limit => {
+            stats.nodes = 1;
+            stats.elapsed = start.elapsed();
+            return Solution {
+                status: Status::LimitNoSolution,
+                objective: f64::INFINITY,
+                best_bound: user_obj(f64::NEG_INFINITY),
+                values: Vec::new(),
+                stats,
+            };
+        }
+        LpStatus::Optimal => {}
+    }
+
+    // --- Incumbent state (internal minimize sense) ---
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut pc = PseudoCosts::new(n);
+    let frac_of = |x: &[f64]| -> Option<(usize, f64)> {
+        // most fractional integer variable
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &j in &int_vars {
+            let f = x[j] - x[j].floor();
+            let dist = (f - 0.5).abs();
+            if f > cfg.int_tol && f < 1.0 - cfg.int_tol
+                && best.map_or(true, |(_, _, d)| dist < d)
+            {
+                best = Some((j, f, dist));
+            }
+        }
+        best.map(|(j, f, _)| (j, f))
+    };
+
+    // Heuristic time slices: dives must never eat the search budget. Each
+    // dive gets a bounded window; the global deadline still dominates.
+    let dive_deadline = |frac_secs: f64| -> Option<Instant> {
+        let local = Instant::now() + std::time::Duration::from_secs_f64(frac_secs);
+        Some(match deadline {
+            Some(d) => d.min(local),
+            None => local,
+        })
+    };
+
+    // Root heuristics.
+    if cfg.heuristics && !int_vars.is_empty() {
+        if let Some((obj, x)) = heur::try_rounding(reduced, &lp, &root.x, cfg.int_tol) {
+            incumbent = Some((obj, x));
+            stats.heuristic_solutions += 1;
+        }
+        let root_dive_budget = cfg
+            .time_limit
+            .map(|t| (t.as_secs_f64() * 0.1).clamp(1.0, 15.0))
+            .unwrap_or(15.0);
+        for strategy in [
+            heur::DiveStrategy::NearestInteger,
+            heur::DiveStrategy::MostFractionalUp,
+        ] {
+            if let Some((obj, x)) = heur::dive_with(
+                strategy,
+                reduced,
+                &lp,
+                &int_vars,
+                &root_lb,
+                &root_ub,
+                cfg,
+                Some(&root.statuses),
+                dive_deadline(root_dive_budget),
+            ) {
+                if incumbent.as_ref().map_or(true, |(o, _)| obj < *o) {
+                    incumbent = Some((obj, x));
+                    stats.heuristic_solutions += 1;
+                }
+            }
+        }
+    }
+
+    // --- Search ---
+    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+    let root_warm = Rc::new(root.statuses.clone());
+    heap.push(HeapNode(Node {
+        changes: Vec::new(),
+        bound: root.obj,
+        depth: 0,
+        warm: Some(root_warm),
+    }));
+    let mut lb_buf = root_lb.clone();
+    let mut ub_buf = root_ub.clone();
+    let mut hit_limit = false;
+    let mut plunge_next: Option<Node> = None;
+
+    'outer: loop {
+        // Global bound = min over open nodes (heap top + any plunge node).
+        let open_bound = match (&plunge_next, heap.peek()) {
+            (Some(p), Some(h)) => p.bound.min(h.0.bound),
+            (Some(p), None) => p.bound,
+            (None, Some(h)) => h.0.bound,
+            (None, None) => f64::INFINITY,
+        };
+        // Gap-based termination.
+        if let Some((inc_obj, _)) = &incumbent {
+            let gap = inc_obj - open_bound;
+            if gap <= cfg.abs_gap || gap <= cfg.rel_gap * inc_obj.abs().max(1e-10) {
+                break;
+            }
+        }
+        let node = match plunge_next.take() {
+            Some(nd) => nd,
+            None => match heap.pop() {
+                Some(HeapNode(nd)) => nd,
+                None => break,
+            },
+        };
+        // Prune against incumbent.
+        if let Some((inc_obj, _)) = &incumbent {
+            if node.bound >= *inc_obj - cfg.abs_gap {
+                continue;
+            }
+        }
+        // Limits.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            hit_limit = true;
+            break;
+        }
+        if let Some(nl) = cfg.node_limit {
+            if stats.nodes >= nl {
+                hit_limit = true;
+                break;
+            }
+        }
+        stats.nodes += 1;
+
+        // Reconstruct bounds.
+        lb_buf.copy_from_slice(&root_lb);
+        ub_buf.copy_from_slice(&root_ub);
+        for &(j, lo, hi) in &node.changes {
+            lb_buf[j] = lb_buf[j].max(lo);
+            ub_buf[j] = ub_buf[j].min(hi);
+        }
+
+        stats.lp_solves += 1;
+        let r = solve_lp(&lp, &lb_buf, &ub_buf, cfg, node.warm.as_deref().map(|v| &v[..]), deadline);
+        stats.simplex_iters += r.iters;
+        match r.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // only possible if the root was unbounded; defensive
+                stats.elapsed = start.elapsed();
+                return Solution::unbounded(stats);
+            }
+            LpStatus::Limit => {
+                hit_limit = true;
+                break 'outer;
+            }
+            LpStatus::Optimal => {}
+        }
+        // Record pseudo-cost from the branch that created this node.
+        // (handled at child creation below via closure over parent info)
+
+        if let Some((inc_obj, _)) = &incumbent {
+            if r.obj >= *inc_obj - cfg.abs_gap {
+                continue; // bound-dominated
+            }
+        }
+
+        match frac_of(&r.x) {
+            None => {
+                // Integral: new incumbent.
+                let mut x = r.x.clone();
+                for &j in &int_vars {
+                    x[j] = x[j].round();
+                }
+                let obj = lp.c.iter().zip(&x).map(|(cc, v)| cc * v).sum::<f64>();
+                if incumbent.as_ref().map_or(true, |(o, _)| obj < *o) {
+                    if cfg.verbose {
+                        eprintln!(
+                            "[milp] node {:>6}: incumbent {:.6} (bound {:.6})",
+                            stats.nodes,
+                            user_obj(obj),
+                            user_obj(open_bound.min(r.obj))
+                        );
+                    }
+                    incumbent = Some((obj, x));
+                }
+                continue;
+            }
+            Some((mf_var, mf_frac)) => {
+                // Choose branching variable.
+                let (bvar, bfrac) = match cfg.branching {
+                    Branching::MostFractional => (mf_var, mf_frac),
+                    Branching::PseudoCost => {
+                        let mut best = (mf_var, mf_frac, -1.0f64);
+                        for &j in &int_vars {
+                            let f = r.x[j] - r.x[j].floor();
+                            if f <= cfg.int_tol || f >= 1.0 - cfg.int_tol {
+                                continue;
+                            }
+                            let s = if pc.initialized(j) {
+                                pc.score(j, f)
+                            } else {
+                                // uninitialized: prefer most fractional
+                                0.25 - (f - 0.5) * (f - 0.5)
+                            };
+                            if s > best.2 {
+                                best = (j, f, s);
+                            }
+                        }
+                        (best.0, best.1)
+                    }
+                };
+                let xval = r.x[bvar];
+                let floor = xval.floor();
+                let warm = Rc::new(r.statuses);
+                // Occasional in-tree diving heuristic; dive more eagerly
+                // (and with both strategies) while no incumbent exists.
+                let dive_period = if incumbent.is_some() { 64 } else { 16 };
+                if cfg.heuristics && stats.nodes % dive_period == 1 && stats.nodes > 1 {
+                    let strategies: &[heur::DiveStrategy] = if incumbent.is_some() {
+                        &[heur::DiveStrategy::NearestInteger]
+                    } else {
+                        &[
+                            heur::DiveStrategy::NearestInteger,
+                            heur::DiveStrategy::MostFractionalUp,
+                        ]
+                    };
+                    for &strategy in strategies {
+                        if let Some((obj, x)) = heur::dive_with(
+                            strategy, reduced, &lp, &int_vars, &lb_buf, &ub_buf, cfg,
+                            Some(&warm), dive_deadline(3.0),
+                        ) {
+                            if incumbent.as_ref().map_or(true, |(o, _)| obj < *o) {
+                                incumbent = Some((obj, x));
+                                stats.heuristic_solutions += 1;
+                            }
+                        }
+                    }
+                }
+                // Update pseudo-costs lazily using LP objective improvements:
+                // the degradation estimate for this node's own branch was
+                // recorded when the node was created; here we record for
+                // children when they are solved (approximated by recording
+                // parent->child delta at child solve time). To keep the
+                // implementation simple we record at child creation using the
+                // parent LP objective and the eventual child bound when the
+                // child is processed; instead, we use the standard proxy of
+                // objective increase per unit fractionality measured on the
+                // two children's LPs when they are popped. The proxy here:
+                // attribute the current node's (bound - parent bound) to the
+                // branch variable of the parent -- tracked via `changes`.
+                let down_child = Node {
+                    changes: {
+                        let mut ch = node.changes.clone();
+                        ch.push((bvar, f64::NEG_INFINITY, floor));
+                        ch
+                    },
+                    bound: r.obj,
+                    depth: node.depth + 1,
+                    warm: Some(Rc::clone(&warm)),
+                };
+                let up_child = Node {
+                    changes: {
+                        let mut ch = node.changes.clone();
+                        ch.push((bvar, floor + 1.0, f64::INFINITY));
+                        ch
+                    },
+                    bound: r.obj,
+                    depth: node.depth + 1,
+                    warm: Some(warm),
+                };
+                // Record pseudo-cost samples by solving proxy: use fractional
+                // distance as denominator when the child is eventually solved.
+                // Simplified online update: estimate from the LP objective of
+                // this node vs parent bound.
+                let parent_frac_gain = (r.obj - node.bound).max(0.0);
+                if let Some(&(pvar, plo, _phi)) = node.changes.last() {
+                    // the last change identifies the parent's branch direction
+                    let went_up = plo.is_finite();
+                    pc.record(pvar, went_up, parent_frac_gain.max(1e-9));
+                }
+                let _ = bfrac;
+                match cfg.node_selection {
+                    NodeSelection::BestBound => {
+                        heap.push(HeapNode(down_child));
+                        heap.push(HeapNode(up_child));
+                    }
+                    NodeSelection::BestBoundPlunge | NodeSelection::DepthFirst => {
+                        // plunge into the child nearer the LP value
+                        let frac = xval - floor;
+                        if frac < 0.5 {
+                            plunge_next = Some(down_child);
+                            heap.push(HeapNode(up_child));
+                        } else {
+                            plunge_next = Some(up_child);
+                            heap.push(HeapNode(down_child));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Wrap up ---
+    let open_bound = match (&plunge_next, heap.peek()) {
+        (Some(p), Some(h)) => p.bound.min(h.0.bound),
+        (Some(p), None) => p.bound,
+        (None, Some(h)) => h.0.bound,
+        (None, None) => f64::INFINITY,
+    };
+    stats.elapsed = start.elapsed();
+    match incumbent {
+        Some((obj, x)) => {
+            let values = ps.postsolve(&x);
+            let bound_internal = if hit_limit || !heap.is_empty() || plunge_next.is_some() {
+                open_bound.min(obj)
+            } else {
+                obj
+            };
+            let status = if hit_limit
+                && (obj - bound_internal > cfg.abs_gap
+                    && obj - bound_internal > cfg.rel_gap * obj.abs().max(1e-10))
+            {
+                Status::LimitFeasible
+            } else {
+                Status::Optimal
+            };
+            Solution {
+                status,
+                objective: user_obj(obj),
+                best_bound: user_obj(bound_internal),
+                values,
+                stats,
+            }
+        }
+        None => {
+            if hit_limit {
+                Solution {
+                    status: Status::LimitNoSolution,
+                    objective: f64::INFINITY,
+                    best_bound: user_obj(open_bound),
+                    values: Vec::new(),
+                    stats,
+                }
+            } else {
+                Solution::infeasible(stats)
+            }
+        }
+    }
+}
+
+/// Builds a no-op [`Presolved`] for when presolve is disabled.
+fn identity_presolved(problem: &Problem) -> Presolved {
+    // Delegate to the presolver with zero rounds by constructing directly.
+    // A clean way without exposing internals: run presolve on a clone is not
+    // a no-op, so we build the identity mapping by hand via public behavior:
+    // `presolve` with zero reductions isn't available, so replicate the
+    // structure with an exact copy.
+    Presolved::identity(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Row, Var};
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn pure_lp_minimize() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(Var::cont().bounds(0.0, 10.0).obj(2.0));
+        let y = p.add_var(Var::cont().bounds(0.0, 10.0).obj(3.0));
+        p.add_row(Row::new().coef(x, 1.0).coef(y, 1.0).ge(4.0));
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 8.0).abs() < 1e-6, "obj {}", s.objective());
+        assert!((s.value(x) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_lp_maximize() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(Var::cont().bounds(0.0, 4.0).obj(3.0));
+        let y = p.add_var(Var::cont().bounds(0.0, 4.0).obj(2.0));
+        p.add_row(Row::new().coef(x, 1.0).coef(y, 1.0).le(5.0));
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 14.0).abs() < 1e-6, "obj {}", s.objective());
+    }
+
+    #[test]
+    fn small_knapsack() {
+        // max 8x + 11y + 6z + 4w, 5x + 7y + 4z + 3w <= 14, binary
+        // optimum: y + z + w = 21 weight 14
+        let mut p = Problem::new(Sense::Maximize);
+        let vals = [8.0, 11.0, 6.0, 4.0];
+        let wts = [5.0, 7.0, 4.0, 3.0];
+        let vars: Vec<VarId> = vals
+            .iter()
+            .map(|&v| p.add_var(Var::binary().obj(v)))
+            .collect();
+        let mut row = Row::new().le(14.0);
+        for (v, &w) in vars.iter().zip(&wts) {
+            row = row.coef(*v, w);
+        }
+        p.add_row(row);
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 21.0).abs() < 1e-6, "obj {}", s.objective());
+        assert!(!s.is_one(vars[0]));
+        assert!(s.is_one(vars[1]) && s.is_one(vars[2]) && s.is_one(vars[3]));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 3, integer -> optimum 1 (not 1.5)
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(Var::integer().bounds(0.0, 5.0).obj(1.0));
+        let y = p.add_var(Var::integer().bounds(0.0, 5.0).obj(1.0));
+        p.add_row(Row::new().coef(x, 2.0).coef(y, 2.0).le(3.0));
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 1.0).abs() < 1e-6, "obj {}", s.objective());
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(Var::binary().obj(1.0));
+        let y = p.add_var(Var::binary().obj(1.0));
+        p.add_row(Row::new().coef(x, 1.0).coef(y, 1.0).ge(3.0));
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn equality_partition() {
+        // choose exactly one of three options with different costs
+        let mut p = Problem::new(Sense::Minimize);
+        let a = p.add_var(Var::binary().obj(5.0));
+        let b = p.add_var(Var::binary().obj(3.0));
+        let c = p.add_var(Var::binary().obj(7.0));
+        p.add_row(Row::new().coef(a, 1.0).coef(b, 1.0).coef(c, 1.0).eq(1.0));
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 3.0).abs() < 1e-6);
+        assert!(s.is_one(b));
+    }
+
+    #[test]
+    fn node_limit_reports_limit_status() {
+        // a knapsack too hard for 1 node without heuristics
+        let mut p = Problem::new(Sense::Maximize);
+        let n = 12;
+        let mut row = Row::new().le(17.0);
+        for i in 0..n {
+            let v = p.add_var(Var::binary().obj(3.0 + (i as f64 % 5.0)));
+            row = row.coef(v, 2.0 + (i as f64 % 3.0));
+        }
+        p.add_row(row);
+        let mut c = cfg().with_node_limit(1).with_heuristics(false);
+        c.presolve = false;
+        let s = solve_milp(&p, &c, Instant::now());
+        assert!(matches!(
+            s.status(),
+            Status::LimitFeasible | Status::LimitNoSolution | Status::Optimal
+        ));
+    }
+
+    #[test]
+    fn objective_offset_respected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(Var::cont().bounds(1.0, 2.0).obj(1.0));
+        p.add_row(Row::new().coef(x, 1.0).ge(1.0));
+        p.shift_objective(100.0);
+        let s = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 101.0).abs() < 1e-6, "obj {}", s.objective());
+    }
+}

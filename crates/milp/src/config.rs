@@ -1,0 +1,164 @@
+//! Solver configuration: tolerances, limits, and strategy switches.
+
+use std::time::Duration;
+
+/// Branching variable selection strategy for the branch-and-bound search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Branching {
+    /// Branch on the integer variable whose LP value is closest to 0.5 away
+    /// from an integer (classic most-fractional rule).
+    MostFractional,
+    /// Pseudo-cost branching with most-fractional fallback before costs are
+    /// initialized (default).
+    #[default]
+    PseudoCost,
+}
+
+/// Node selection strategy for the branch-and-bound search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeSelection {
+    /// Pure best-bound (best-first) search.
+    BestBound,
+    /// Best-bound with depth-first plunging after each node (default): the
+    /// solver dives into one child immediately, which finds incumbents early
+    /// while the queue keeps the global bound.
+    #[default]
+    BestBoundPlunge,
+    /// Pure depth-first search.
+    DepthFirst,
+}
+
+/// Configuration for [`crate::Solver`].
+///
+/// # Examples
+///
+/// ```
+/// use milp::Config;
+/// use std::time::Duration;
+///
+/// let cfg = Config::default()
+///     .with_time_limit(Duration::from_secs(60))
+///     .with_rel_gap(1e-4);
+/// assert_eq!(cfg.rel_gap, 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Primal/dual feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Integrality tolerance: `x` counts as integral if within this of a
+    /// whole number.
+    pub int_tol: f64,
+    /// Relative MIP gap at which the search stops.
+    pub rel_gap: f64,
+    /// Absolute MIP gap at which the search stops.
+    pub abs_gap: f64,
+    /// Wall-clock limit for the whole solve (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes (`None` = unlimited).
+    pub node_limit: Option<usize>,
+    /// Maximum simplex iterations per LP solve (`None` = unlimited).
+    pub iter_limit: Option<usize>,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_interval: usize,
+    /// Branching rule.
+    pub branching: Branching,
+    /// Node selection rule.
+    pub node_selection: NodeSelection,
+    /// Run the presolver before solving.
+    pub presolve: bool,
+    /// Run primal rounding/diving heuristics during branch and bound.
+    pub heuristics: bool,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+    /// Random seed for tie-breaking perturbations.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            int_tol: 1e-6,
+            rel_gap: 1e-6,
+            abs_gap: 1e-9,
+            time_limit: None,
+            node_limit: None,
+            iter_limit: None,
+            refactor_interval: 64,
+            branching: Branching::default(),
+            node_selection: NodeSelection::default(),
+            presolve: true,
+            heuristics: true,
+            verbose: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Config {
+    /// Returns the default configuration (same as [`Default::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a wall-clock time limit.
+    pub fn with_time_limit(mut self, d: Duration) -> Self {
+        self.time_limit = Some(d);
+        self
+    }
+
+    /// Sets the node limit.
+    pub fn with_node_limit(mut self, n: usize) -> Self {
+        self.node_limit = Some(n);
+        self
+    }
+
+    /// Sets the relative MIP gap.
+    pub fn with_rel_gap(mut self, g: f64) -> Self {
+        self.rel_gap = g;
+        self
+    }
+
+    /// Enables or disables presolve.
+    pub fn with_presolve(mut self, on: bool) -> Self {
+        self.presolve = on;
+        self
+    }
+
+    /// Enables or disables primal heuristics.
+    pub fn with_heuristics(mut self, on: bool) -> Self {
+        self.heuristics = on;
+        self
+    }
+
+    /// Enables or disables progress output.
+    pub fn with_verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = Config::new()
+            .with_time_limit(Duration::from_millis(500))
+            .with_node_limit(10)
+            .with_rel_gap(0.01)
+            .with_presolve(false)
+            .with_heuristics(false)
+            .with_verbose(true);
+        assert_eq!(cfg.time_limit, Some(Duration::from_millis(500)));
+        assert_eq!(cfg.node_limit, Some(10));
+        assert_eq!(cfg.rel_gap, 0.01);
+        assert!(!cfg.presolve);
+        assert!(!cfg.heuristics);
+        assert!(cfg.verbose);
+    }
+}

@@ -1,0 +1,101 @@
+//! A from-scratch mixed-integer linear programming solver.
+//!
+//! This crate provides the optimization substrate for the wireless-network
+//! design-space-exploration stack: a sparse bounded-variable revised simplex
+//! method (with LU-factorized basis and product-form updates) wrapped in a
+//! branch-and-bound search with presolve and primal heuristics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use milp::{Problem, Sense, Var, Row, Solver, Config, Status};
+//!
+//! // maximize 5a + 4b  s.t.  6a + 4b <= 24, a + 2b <= 6, a,b >= 0 integer
+//! let mut p = Problem::new(Sense::Maximize);
+//! let a = p.add_var(Var::integer().bounds(0.0, 10.0).obj(5.0).name("a"));
+//! let b = p.add_var(Var::integer().bounds(0.0, 10.0).obj(4.0).name("b"));
+//! p.add_row(Row::new().coef(a, 6.0).coef(b, 4.0).le(24.0));
+//! p.add_row(Row::new().coef(a, 1.0).coef(b, 2.0).le(6.0));
+//!
+//! let sol = Solver::new(Config::default()).solve(&p);
+//! assert_eq!(sol.status(), Status::Optimal);
+//! // LP relaxation gives 21 at (3, 1.5); integer optimum is 20 at (4, 0)
+//! assert_eq!(sol.objective().round() as i64, 20);
+//! # assert!(sol.value(a) >= -1e-6);
+//! ```
+//!
+//! # Design
+//!
+//! * [`Problem`] — ranged-row MILP description with builder-style
+//!   [`Var`]/[`Row`] helpers.
+//! * [`simplex`] — the LP engine ([`simplex::solve_lp`]); usable directly
+//!   for pure LPs and warm-started from previous bases.
+//! * [`branch`] — LP-based branch and bound with pseudo-cost branching,
+//!   plunging, and rounding/diving heuristics.
+//! * [`presolve`] — bound tightening and row/column elimination with full
+//!   postsolve of the original solution vector.
+//! * [`lp_format`] — export to CPLEX LP text format for debugging against
+//!   external solvers.
+
+pub mod branch;
+pub mod config;
+pub mod heur;
+pub mod lp_format;
+pub mod lu;
+pub mod presolve;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+pub mod sparse;
+
+pub use config::{Branching, Config, NodeSelection};
+pub use problem::{Problem, Row, RowId, Sense, Var, VarId, VarType};
+pub use solution::{Solution, Stats, Status};
+
+use std::time::Instant;
+
+/// The MILP solver facade: presolve, branch and bound, postsolve.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: Config,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Solver { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Solves `problem`, returning the best solution found and its status.
+    ///
+    /// Never panics on well-formed problems: infeasibility, unboundedness,
+    /// and limit hits are reported through [`Solution::status`].
+    pub fn solve(&self, problem: &Problem) -> Solution {
+        let start = Instant::now();
+        branch::solve_milp(problem, &self.config, start)
+    }
+}
+
+/// Convenience: solve with the default configuration.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Problem, Sense, Var, Row};
+///
+/// let mut p = Problem::new(Sense::Minimize);
+/// let x = p.add_var(Var::cont().bounds(0.0, 9.0).obj(1.0));
+/// p.add_row(Row::new().coef(x, 1.0).ge(4.0));
+/// let sol = milp::solve(&p);
+/// assert!((sol.objective() - 4.0).abs() < 1e-6);
+/// ```
+pub fn solve(problem: &Problem) -> Solution {
+    Solver::new(Config::default()).solve(problem)
+}

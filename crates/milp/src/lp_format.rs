@@ -1,0 +1,597 @@
+//! Export of a [`Problem`] to the CPLEX LP text format.
+//!
+//! Useful for debugging the home-grown solver against external tools: the
+//! emitted text can be fed unchanged to CPLEX, Gurobi, HiGHS, or `glpsol`.
+
+use crate::problem::{Problem, RowId, Sense, Var, VarId, VarType};
+use std::fmt::Write as _;
+
+/// Renders `problem` in CPLEX LP format.
+///
+/// Variable and row names from the problem are used when present (sanitized
+/// to the LP charset), with `x{i}` / `r{i}` fallbacks.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Problem, Sense, Var, Row};
+/// use milp::lp_format::to_lp_string;
+///
+/// let mut p = Problem::new(Sense::Maximize);
+/// let x = p.add_var(Var::integer().bounds(0.0, 4.0).obj(3.0).name("x"));
+/// p.add_row(Row::new().coef(x, 2.0).le(7.0).name("cap"));
+/// let text = to_lp_string(&p);
+/// assert!(text.contains("Maximize"));
+/// assert!(text.contains("cap:"));
+/// ```
+pub fn to_lp_string(problem: &Problem) -> String {
+    let mut s = String::new();
+    match problem.sense() {
+        Sense::Minimize => s.push_str("Minimize\n"),
+        Sense::Maximize => s.push_str("Maximize\n"),
+    }
+    s.push_str(" obj:");
+    let mut wrote_any = false;
+    for v in problem.var_ids() {
+        let c = problem.var_obj(v);
+        if c != 0.0 {
+            let _ = write!(s, " {} {}", sign_coef(c, !wrote_any), var_name(problem, v));
+            wrote_any = true;
+        }
+    }
+    if !wrote_any {
+        s.push_str(" 0 x0_dummy");
+    }
+    s.push('\n');
+
+    s.push_str("Subject To\n");
+    for r in problem.row_ids() {
+        let (lo, hi) = problem.row_bounds(r);
+        if !lo.is_finite() && !hi.is_finite() {
+            continue;
+        }
+        // Merge duplicate coefficients for readable output.
+        let mut merged: std::collections::BTreeMap<usize, f64> = Default::default();
+        for &(v, c) in problem.row_coefs(r) {
+            *merged.entry(v.index()).or_insert(0.0) += c;
+        }
+        let body = {
+            let mut b = String::new();
+            let mut first = true;
+            for (&vi, &c) in &merged {
+                if c == 0.0 {
+                    continue;
+                }
+                let _ = write!(
+                    b,
+                    " {} {}",
+                    sign_coef(c, first),
+                    var_name(problem, VarId(vi))
+                );
+                first = false;
+            }
+            if first {
+                b.push_str(" 0 x0_dummy");
+            }
+            b
+        };
+        let name = row_name(problem, r);
+        if lo.is_finite() && hi.is_finite() && (lo - hi).abs() < 1e-15 {
+            let _ = writeln!(s, " {}:{} = {}", name, body, lo);
+        } else {
+            if lo.is_finite() && hi.is_finite() {
+                let _ = writeln!(s, " {}_lo:{} >= {}", name, body, lo);
+                let _ = writeln!(s, " {}_hi:{} <= {}", name, body, hi);
+            } else if lo.is_finite() {
+                let _ = writeln!(s, " {}:{} >= {}", name, body, lo);
+            } else {
+                let _ = writeln!(s, " {}:{} <= {}", name, body, hi);
+            }
+        }
+    }
+
+    s.push_str("Bounds\n");
+    for v in problem.var_ids() {
+        let (lo, hi) = problem.var_bounds(v);
+        let n = var_name(problem, v);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(s, " {} <= {} <= {}", lo, n, hi);
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(s, " {} >= {}", n, lo);
+                }
+            }
+            (false, true) => {
+                let _ = writeln!(s, " -inf <= {} <= {}", n, hi);
+            }
+            (false, false) => {
+                let _ = writeln!(s, " {} free", n);
+            }
+        }
+    }
+
+    let generals: Vec<VarId> = problem
+        .var_ids()
+        .filter(|&v| problem.var_type(v) == VarType::Integer)
+        .collect();
+    if !generals.is_empty() {
+        s.push_str("Generals\n");
+        for v in generals {
+            let _ = writeln!(s, " {}", var_name(problem, v));
+        }
+    }
+    let binaries: Vec<VarId> = problem
+        .var_ids()
+        .filter(|&v| problem.var_type(v) == VarType::Binary)
+        .collect();
+    if !binaries.is_empty() {
+        s.push_str("Binaries\n");
+        for v in binaries {
+            let _ = writeln!(s, " {}", var_name(problem, v));
+        }
+    }
+    s.push_str("End\n");
+    s
+}
+
+/// Error from [`parse_lp_string`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseLpError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lp line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLpError {}
+
+/// Parses the CPLEX LP subset emitted by [`to_lp_string`] back into a
+/// [`Problem`] — used for round-trip tests and for loading instances
+/// exported from external tools.
+///
+/// Supported sections: `Minimize`/`Maximize`, `Subject To`, `Bounds`,
+/// `Generals`, `Binaries`, `End`. Each constraint must sit on one line.
+///
+/// # Errors
+///
+/// Returns [`ParseLpError`] with the offending line for malformed input.
+pub fn parse_lp_string(text: &str) -> Result<Problem, ParseLpError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Preamble,
+        Objective,
+        Rows,
+        Bounds,
+        Generals,
+        Binaries,
+    }
+    let mut sense = Sense::Minimize;
+    let mut section = Section::Preamble;
+    // name -> (index, coef accumulation happens later)
+    let mut var_ids: std::collections::HashMap<String, usize> = Default::default();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut obj: Vec<(usize, f64)> = Vec::new();
+    let mut rows: Vec<(Vec<(usize, f64)>, f64, f64)> = Vec::new();
+    let mut bounds: std::collections::HashMap<usize, (f64, f64)> = Default::default();
+    let mut generals: Vec<usize> = Vec::new();
+    let mut binaries: Vec<usize> = Vec::new();
+
+    let intern = |name: &str, var_ids: &mut std::collections::HashMap<String, usize>,
+                      var_names: &mut Vec<String>| -> usize {
+        if let Some(&i) = var_ids.get(name) {
+            return i;
+        }
+        let i = var_names.len();
+        var_ids.insert(name.to_string(), i);
+        var_names.push(name.to_string());
+        i
+    };
+
+    /// Parses `[+-] [num [*]] name` sequences into terms.
+    fn parse_terms(
+        tokens: &[&str],
+        lineno: usize,
+        intern: &mut dyn FnMut(&str) -> usize,
+    ) -> Result<Vec<(usize, f64)>, ParseLpError> {
+        let mut terms = Vec::new();
+        let mut sign = 1.0f64;
+        let mut pending: Option<f64> = None;
+        for &tok in tokens {
+            match tok {
+                "+" => sign = 1.0,
+                "-" => sign = -1.0,
+                "*" => {}
+                t => {
+                    if let Ok(v) = t.parse::<f64>() {
+                        if pending.is_some() {
+                            return Err(ParseLpError {
+                                line: lineno,
+                                message: format!("two consecutive numbers near `{}`", t),
+                            });
+                        }
+                        pending = Some(v);
+                    } else {
+                        let coef = sign * pending.take().unwrap_or(1.0);
+                        terms.push((intern(t), coef));
+                        sign = 1.0;
+                    }
+                }
+            }
+        }
+        if pending.is_some() {
+            return Err(ParseLpError {
+                line: lineno,
+                message: "dangling coefficient without variable".into(),
+            });
+        }
+        Ok(terms)
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('\\') {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        match lower.as_str() {
+            "minimize" | "min" => {
+                sense = Sense::Minimize;
+                section = Section::Objective;
+                continue;
+            }
+            "maximize" | "max" => {
+                sense = Sense::Maximize;
+                section = Section::Objective;
+                continue;
+            }
+            "subject to" | "st" | "s.t." => {
+                section = Section::Rows;
+                continue;
+            }
+            "bounds" => {
+                section = Section::Bounds;
+                continue;
+            }
+            "generals" | "general" => {
+                section = Section::Generals;
+                continue;
+            }
+            "binaries" | "binary" => {
+                section = Section::Binaries;
+                continue;
+            }
+            "end" => break,
+            _ => {}
+        }
+        // strip a leading `name:` label
+        let body = match line.split_once(':') {
+            Some((_, rest)) => rest,
+            None => line,
+        };
+        // tokenize with operators separated
+        let spaced = body
+            .replace("<=", " <= ")
+            .replace(">=", " >= ")
+            .replace('+', " + ")
+            .replace('*', " * ");
+        // careful with '-' inside numbers like 1e-5: split on whitespace
+        // first, then split leading minus signs off identifiers
+        let mut tokens: Vec<String> = Vec::new();
+        for t in spaced.split_whitespace() {
+            if let Some(rest) = t.strip_prefix('-') {
+                if rest.parse::<f64>().is_err() && !rest.is_empty() {
+                    tokens.push("-".into());
+                    tokens.push(rest.to_string());
+                    continue;
+                }
+                if t.parse::<f64>().is_ok() {
+                    tokens.push(t.to_string());
+                    continue;
+                }
+                tokens.push("-".into());
+                if !rest.is_empty() {
+                    tokens.push(rest.to_string());
+                }
+                continue;
+            }
+            // lone '=' that is not <= or >=
+            if t == "=" || t == "<" || t == ">" {
+                tokens.push(t.to_string());
+            } else {
+                tokens.push(t.to_string());
+            }
+        }
+        let toks: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
+        match section {
+            Section::Preamble => {
+                return Err(ParseLpError {
+                    line: lineno,
+                    message: "expected Minimize/Maximize header".into(),
+                })
+            }
+            Section::Objective => {
+                let terms = parse_terms(&toks, lineno, &mut |n| {
+                    intern(n, &mut var_ids, &mut var_names)
+                })?;
+                obj.extend(terms);
+            }
+            Section::Rows => {
+                // find the comparison operator
+                let op_pos = toks
+                    .iter()
+                    .position(|t| matches!(*t, "<=" | ">=" | "="))
+                    .ok_or(ParseLpError {
+                        line: lineno,
+                        message: "constraint lacks <=, >= or =".into(),
+                    })?;
+                let rhs: f64 = toks
+                    .get(op_pos + 1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseLpError {
+                        line: lineno,
+                        message: "constraint lacks numeric right-hand side".into(),
+                    })?;
+                let terms = parse_terms(&toks[..op_pos], lineno, &mut |n| {
+                    intern(n, &mut var_ids, &mut var_names)
+                })?;
+                let (lo, hi) = match toks[op_pos] {
+                    "<=" => (f64::NEG_INFINITY, rhs),
+                    ">=" => (rhs, f64::INFINITY),
+                    _ => (rhs, rhs),
+                };
+                rows.push((terms, lo, hi));
+            }
+            Section::Bounds => {
+                // forms: `x free` | `lo <= x <= hi` | `x >= lo` | `x <= hi`
+                if toks.len() == 2 && toks[1].eq_ignore_ascii_case("free") {
+                    let v = intern(toks[0], &mut var_ids, &mut var_names);
+                    bounds.insert(v, (f64::NEG_INFINITY, f64::INFINITY));
+                } else if toks.len() == 5 && toks[1] == "<=" && toks[3] == "<=" {
+                    let parse_bound = |t: &str| -> f64 {
+                        match t.to_ascii_lowercase().as_str() {
+                            "-inf" | "-infinity" => f64::NEG_INFINITY,
+                            "inf" | "+inf" | "infinity" => f64::INFINITY,
+                            other => other.parse().unwrap_or(f64::NAN),
+                        }
+                    };
+                    let lo = parse_bound(toks[0]);
+                    let hi = parse_bound(toks[4]);
+                    if lo.is_nan() || hi.is_nan() {
+                        return Err(ParseLpError {
+                            line: lineno,
+                            message: "malformed bound values".into(),
+                        });
+                    }
+                    let v = intern(toks[2], &mut var_ids, &mut var_names);
+                    bounds.insert(v, (lo, hi));
+                } else if toks.len() == 3 && (toks[1] == ">=" || toks[1] == "<=") {
+                    let v = intern(toks[0], &mut var_ids, &mut var_names);
+                    let b: f64 = toks[2].parse().map_err(|_| ParseLpError {
+                        line: lineno,
+                        message: "malformed bound value".into(),
+                    })?;
+                    let entry = bounds.entry(v).or_insert((0.0, f64::INFINITY));
+                    if toks[1] == ">=" {
+                        entry.0 = b;
+                    } else {
+                        entry.1 = b;
+                    }
+                } else {
+                    return Err(ParseLpError {
+                        line: lineno,
+                        message: format!("unrecognized bounds line `{}`", line),
+                    });
+                }
+            }
+            Section::Generals => {
+                for t in &toks {
+                    generals.push(intern(t, &mut var_ids, &mut var_names));
+                }
+            }
+            Section::Binaries => {
+                for t in &toks {
+                    binaries.push(intern(t, &mut var_ids, &mut var_names));
+                }
+            }
+        }
+    }
+
+    // Assemble the problem.
+    let mut p = Problem::new(sense);
+    let mut ids = Vec::with_capacity(var_names.len());
+    let obj_map: std::collections::HashMap<usize, f64> = {
+        let mut m = std::collections::HashMap::new();
+        for (v, c) in obj {
+            *m.entry(v).or_insert(0.0) += c;
+        }
+        m
+    };
+    let generals: std::collections::HashSet<usize> = generals.into_iter().collect();
+    let binaries: std::collections::HashSet<usize> = binaries.into_iter().collect();
+    for (i, name) in var_names.iter().enumerate() {
+        let (lo, hi) = bounds.get(&i).copied().unwrap_or((0.0, f64::INFINITY));
+        let base = if binaries.contains(&i) {
+            Var::binary()
+        } else if generals.contains(&i) {
+            Var::integer()
+        } else {
+            Var::cont()
+        };
+        let builder = if binaries.contains(&i) {
+            base // binaries keep their 0/1 box
+        } else {
+            base.bounds(lo, hi)
+        };
+        ids.push(p.add_var(
+            builder.obj(obj_map.get(&i).copied().unwrap_or(0.0)).name(name.clone()),
+        ));
+    }
+    for (terms, lo, hi) in rows {
+        let mut row = crate::problem::Row::new().range(lo.min(hi), hi.max(lo));
+        for (v, c) in terms {
+            row = row.coef(ids[v], c);
+        }
+        p.add_row(row);
+    }
+    Ok(p)
+}
+
+fn sign_coef(c: f64, first: bool) -> String {
+    if first {
+        format!("{}", c)
+    } else if c < 0.0 {
+        format!("- {}", -c)
+    } else {
+        format!("+ {}", c)
+    }
+}
+
+fn sanitize(raw: &str) -> String {
+    raw.chars()
+        .map(|ch| {
+            if ch.is_ascii_alphanumeric() || "_.#$%&/".contains(ch) {
+                ch
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn var_name(p: &Problem, v: VarId) -> String {
+    match p.var_name(v) {
+        Some(n) => sanitize(n),
+        None => format!("x{}", v.index()),
+    }
+}
+
+fn row_name(p: &Problem, r: RowId) -> String {
+    match p.row_name(r) {
+        Some(n) => sanitize(n),
+        None => format!("r{}", r.index()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Row, Var};
+
+    #[test]
+    fn renders_sections() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(Var::cont().bounds(0.0, 5.0).obj(2.0).name("width"));
+        let b = p.add_var(Var::binary().obj(-1.0));
+        let g = p.add_var(Var::integer().bounds(0.0, 9.0).obj(1.0));
+        p.add_row(Row::new().coef(x, 1.0).coef(b, -3.0).ge(1.0).name("lq"));
+        p.add_row(Row::new().coef(g, 1.0).coef(b, 1.0).range(0.0, 4.0));
+        let s = to_lp_string(&p);
+        assert!(s.contains("Minimize"));
+        assert!(s.contains("Subject To"));
+        assert!(s.contains("lq:"));
+        assert!(s.contains("width"));
+        assert!(s.contains("Bounds"));
+        assert!(s.contains("Generals"));
+        assert!(s.contains("Binaries"));
+        assert!(s.ends_with("End\n"));
+        // range row becomes two inequalities
+        assert!(s.contains("r1_lo:"));
+        assert!(s.contains("r1_hi:"));
+    }
+
+    #[test]
+    fn weird_names_sanitized() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(Var::cont().obj(1.0).name("a b->c"));
+        p.add_row(Row::new().coef(x, 1.0).le(1.0).name("my row"));
+        let s = to_lp_string(&p);
+        assert!(s.contains("a_b__c"));
+        assert!(s.contains("my_row:"));
+    }
+
+    #[test]
+    fn roundtrip_solves_identically() {
+        // write -> parse -> both versions must have the same optimum
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_var(Var::integer().bounds(0.0, 10.0).obj(5.0).name("a"));
+        let b = p.add_var(Var::integer().bounds(0.0, 10.0).obj(4.0).name("b"));
+        let x = p.add_var(Var::cont().bounds(0.0, 2.5).obj(1.5).name("x"));
+        p.add_row(Row::new().coef(a, 6.0).coef(b, 4.0).le(24.0));
+        p.add_row(Row::new().coef(a, 1.0).coef(b, 2.0).coef(x, 1.0).le(6.0));
+        let text = to_lp_string(&p);
+        let q = parse_lp_string(&text).unwrap();
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.num_rows(), 2);
+        let sp = crate::solve(&p);
+        let sq = crate::solve(&q);
+        assert_eq!(sp.status(), crate::Status::Optimal);
+        assert_eq!(sq.status(), crate::Status::Optimal);
+        assert!(
+            (sp.objective() - sq.objective()).abs() < 1e-6,
+            "{} vs {}",
+            sp.objective(),
+            sq.objective()
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_ranges_binaries_and_free() {
+        let mut p = Problem::new(Sense::Minimize);
+        let f = p.add_var(Var::free().obj(1.0).name("f"));
+        let z = p.add_var(Var::binary().obj(-2.0).name("z"));
+        let g = p.add_var(Var::integer().bounds(-3.0, 7.0).obj(0.5).name("g"));
+        p.add_row(Row::new().coef(f, 1.0).coef(z, 2.0).range(-1.0, 4.0));
+        p.add_row(Row::new().coef(g, 1.0).coef(f, -1.0).ge(0.0));
+        p.add_row(Row::new().coef(f, 1.0).ge(-5.0)); // bounds f from below
+        let text = to_lp_string(&p);
+        let q = parse_lp_string(&text).unwrap();
+        let sp = crate::solve(&p);
+        let sq = crate::solve(&q);
+        assert_eq!(sp.status(), sq.status());
+        if sp.status() == crate::Status::Optimal {
+            assert!((sp.objective() - sq.objective()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parse_handwritten_lp() {
+        let text = "\\ comment\nMinimize\n obj: 2 x + 3 y\nSubject To\n c1: x + y >= 4\n c2: x - y <= 2\nBounds\n 0 <= x <= 10\n 0 <= y <= 10\nEnd\n";
+        let p = parse_lp_string(text).unwrap();
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_rows(), 2);
+        let s = crate::solve(&p);
+        assert_eq!(s.status(), crate::Status::Optimal);
+        // optimum: x=y=2 (cost 10)? min 2x+3y with x+y>=4, x-y<=2:
+        // best puts weight on x: x=3,y=1 -> 9; check
+        assert!((s.objective() - 9.0).abs() < 1e-6, "obj {}", s.objective());
+    }
+
+    #[test]
+    fn parse_errors_report_lines() {
+        let bad = "Minimize\n obj: x\nSubject To\n c1: x + y\nEnd\n";
+        let err = parse_lp_string(bad).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("<="));
+        let no_header = " x + y <= 1\n";
+        assert!(parse_lp_string(no_header).is_err());
+    }
+
+    #[test]
+    fn equality_rendered_once() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(Var::cont().obj(1.0));
+        p.add_row(Row::new().coef(x, 2.0).eq(4.0));
+        let s = to_lp_string(&p);
+        assert!(s.contains("= 4"));
+        assert!(!s.contains("r0_lo"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Solve outcomes: status codes, solutions, and search statistics.
+
+use crate::problem::VarId;
+use std::time::Duration;
+
+/// Final status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Proven optimal (within the configured gap).
+    Optimal,
+    /// Proven infeasible.
+    Infeasible,
+    /// Proven unbounded.
+    Unbounded,
+    /// A limit (time/node/iteration) was hit; a feasible incumbent exists.
+    LimitFeasible,
+    /// A limit was hit with no feasible incumbent found.
+    LimitNoSolution,
+}
+
+impl Status {
+    /// Whether a usable solution vector is available.
+    pub fn has_solution(self) -> bool {
+        matches!(self, Status::Optimal | Status::LimitFeasible)
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::LimitFeasible => "limit reached (feasible incumbent)",
+            Status::LimitNoSolution => "limit reached (no solution)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters describing the work performed during a solve.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Branch-and-bound nodes processed (1 for a pure LP).
+    pub nodes: usize,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iters: usize,
+    /// Number of LP relaxations solved.
+    pub lp_solves: usize,
+    /// Incumbents found by heuristics (as opposed to node LPs).
+    pub heuristic_solutions: usize,
+    /// Wall-clock time of the whole solve.
+    pub elapsed: Duration,
+    /// Rows removed by presolve.
+    pub presolve_rows_removed: usize,
+    /// Variables fixed/removed by presolve.
+    pub presolve_vars_removed: usize,
+}
+
+/// Result of solving a [`crate::Problem`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub(crate) status: Status,
+    pub(crate) objective: f64,
+    pub(crate) best_bound: f64,
+    pub(crate) values: Vec<f64>,
+    pub(crate) stats: Stats,
+}
+
+impl Solution {
+    /// The final status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Objective value of the incumbent (meaningful when
+    /// [`Status::has_solution`]); in the problem's own sense.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Best proven bound on the optimum (lower bound when minimizing).
+    pub fn best_bound(&self) -> f64 {
+        self.best_bound
+    }
+
+    /// The relative gap between incumbent and bound, or `f64::INFINITY`
+    /// when no incumbent exists.
+    pub fn gap(&self) -> f64 {
+        if !self.status.has_solution() {
+            return f64::INFINITY;
+        }
+        let denom = self.objective.abs().max(1e-10);
+        (self.objective - self.best_bound).abs() / denom
+    }
+
+    /// Value of variable `v` in the incumbent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available (check [`Status::has_solution`]).
+    pub fn value(&self, v: VarId) -> f64 {
+        assert!(
+            self.status.has_solution(),
+            "no solution available (status: {})",
+            self.status
+        );
+        self.values[v.index()]
+    }
+
+    /// Full solution vector in variable order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available.
+    pub fn values(&self) -> &[f64] {
+        assert!(
+            self.status.has_solution(),
+            "no solution available (status: {})",
+            self.status
+        );
+        &self.values
+    }
+
+    /// Interprets variable `v` as a 0/1 indicator (rounding its value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available.
+    pub fn is_one(&self, v: VarId) -> bool {
+        self.value(v) > 0.5
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    pub(crate) fn infeasible(stats: Stats) -> Self {
+        Solution {
+            status: Status::Infeasible,
+            objective: f64::INFINITY,
+            best_bound: f64::INFINITY,
+            values: Vec::new(),
+            stats,
+        }
+    }
+
+    pub(crate) fn unbounded(stats: Stats) -> Self {
+        Solution {
+            status: Status::Unbounded,
+            objective: f64::NEG_INFINITY,
+            best_bound: f64::NEG_INFINITY,
+            values: Vec::new(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_solution_availability() {
+        assert!(Status::Optimal.has_solution());
+        assert!(Status::LimitFeasible.has_solution());
+        assert!(!Status::Infeasible.has_solution());
+        assert!(!Status::Unbounded.has_solution());
+        assert!(!Status::LimitNoSolution.has_solution());
+    }
+
+    #[test]
+    fn gap_computation() {
+        let s = Solution {
+            status: Status::LimitFeasible,
+            objective: 110.0,
+            best_bound: 100.0,
+            values: vec![1.0],
+            stats: Stats::default(),
+        };
+        assert!((s.gap() - 10.0 / 110.0).abs() < 1e-12);
+        let inf = Solution::infeasible(Stats::default());
+        assert_eq!(inf.gap(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "no solution available")]
+    fn value_panics_without_solution() {
+        let s = Solution::infeasible(Stats::default());
+        let _ = s.value(VarId(0));
+    }
+}

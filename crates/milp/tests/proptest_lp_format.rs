@@ -1,0 +1,112 @@
+//! Property test: writing a problem to LP format and parsing it back
+//! preserves the optimum.
+
+use milp::lp_format::{parse_lp_string, to_lp_string};
+use milp::{Problem, Row, Sense, Status, Var};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    maximize: bool,
+    // (obj, lo, hi, kind 0=cont 1=int 2=bin)
+    vars: Vec<(f64, f64, f64, u8)>,
+    // (coefs, kind 0=le 1=ge 2=eq, rhs)
+    rows: Vec<(Vec<f64>, u8, f64)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..=5, 1usize..=4, any::<bool>()).prop_flat_map(|(nv, nr, maximize)| {
+        let vars = prop::collection::vec(
+            (-4.0..4.0f64, 0.0..2.0f64, 2.0..8.0f64, 0u8..3),
+            nv..=nv,
+        );
+        let rows = prop::collection::vec(
+            (
+                prop::collection::vec(-3.0..3.0f64, nv..=nv),
+                0u8..3,
+                0.0..12.0f64,
+            ),
+            nr..=nr,
+        );
+        (Just(maximize), vars, rows).prop_map(|(maximize, vars, rows)| Instance {
+            maximize,
+            // quantize to avoid float-printing ties
+            vars: vars
+                .into_iter()
+                .map(|(o, l, h, k)| {
+                    (
+                        (o * 8.0).round() / 8.0,
+                        (l * 8.0).round() / 8.0,
+                        (h * 8.0).round() / 8.0,
+                        k,
+                    )
+                })
+                .collect(),
+            rows: rows
+                .into_iter()
+                .map(|(cs, k, r)| {
+                    (
+                        cs.iter().map(|c| (c * 8.0).round() / 8.0).collect(),
+                        k,
+                        (r * 8.0).round() / 8.0,
+                    )
+                })
+                .collect(),
+        })
+    })
+}
+
+fn build(inst: &Instance) -> Problem {
+    let mut p = Problem::new(if inst.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    });
+    let ids: Vec<_> = inst
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(obj, lo, hi, kind))| {
+            let v = match kind {
+                1 => Var::integer().bounds(lo, hi),
+                2 => Var::binary(),
+                _ => Var::cont().bounds(lo, hi),
+            };
+            p.add_var(v.obj(obj).name(format!("v{}", i)))
+        })
+        .collect();
+    for (coefs, kind, rhs) in &inst.rows {
+        let mut row = Row::new();
+        for (v, &c) in ids.iter().zip(coefs) {
+            row = row.coef(*v, c);
+        }
+        row = match kind {
+            0 => row.le(*rhs),
+            1 => row.ge(*rhs),
+            _ => row.eq(*rhs),
+        };
+        p.add_row(row);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_roundtrip_preserves_optimum(inst in instance()) {
+        let p = build(&inst);
+        let text = to_lp_string(&p);
+        let q = parse_lp_string(&text)
+            .unwrap_or_else(|e| panic!("unparseable output: {}\n{}", e, text));
+        prop_assert_eq!(p.num_vars(), q.num_vars());
+        prop_assert_eq!(p.num_rows(), q.num_rows());
+        let sp = milp::solve(&p);
+        let sq = milp::solve(&q);
+        prop_assert_eq!(sp.status(), sq.status(), "{}", text);
+        if sp.status() == Status::Optimal {
+            prop_assert!((sp.objective() - sq.objective()).abs() < 1e-6,
+                "{} vs {}\n{}", sp.objective(), sq.objective(), text);
+        }
+    }
+}

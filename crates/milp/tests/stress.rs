@@ -1,0 +1,116 @@
+//! Scale sanity checks for the solver. The larger cases run in release-mode
+//! CI / benchmarking; the small ones always run.
+
+use milp::{Config, Problem, Row, Sense, Solver, Status, Var, VarId};
+use std::time::{Duration, Instant};
+
+/// Builds a transportation-style LP: `ns` sources, `nd` sinks.
+fn transport(ns: usize, nd: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let x: Vec<Vec<VarId>> = (0..ns)
+        .map(|i| {
+            (0..nd)
+                .map(|j| {
+                    let cost = ((i * 7 + j * 13) % 17 + 1) as f64;
+                    p.add_var(Var::cont().bounds(0.0, f64::INFINITY).obj(cost))
+                })
+                .collect()
+        })
+        .collect();
+    let supply = nd as f64; // each source can ship nd units
+    let demand = ns as f64 * 0.8; // each sink needs 0.8*ns units
+    for xi in &x {
+        let mut row = Row::new().le(supply);
+        for &v in xi {
+            row = row.coef(v, 1.0);
+        }
+        p.add_row(row);
+    }
+    for j in 0..nd {
+        let mut row = Row::new().ge(demand);
+        for xi in &x {
+            row = row.coef(xi[j], 1.0);
+        }
+        p.add_row(row);
+    }
+    p
+}
+
+/// Builds a set-covering MILP with `n` binary columns and `m` rows.
+fn set_cover(m: usize, n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let vars: Vec<VarId> = (0..n)
+        .map(|j| p.add_var(Var::binary().obj(1.0 + (j % 5) as f64)))
+        .collect();
+    for i in 0..m {
+        let mut row = Row::new().ge(1.0);
+        // deterministic pseudo-random sparse coverage; ~5 columns per row
+        let mut added = 0;
+        let mut k = (i * 2654435761) % n;
+        while added < 5 {
+            row = row.coef(vars[k], 1.0);
+            k = (k + 1 + (i % 3)) % n;
+            added += 1;
+        }
+        p.add_row(row);
+    }
+    p
+}
+
+#[test]
+fn medium_lp_solves_quickly() {
+    let p = transport(30, 30); // 900 vars, 60 rows
+    let t = Instant::now();
+    let s = Solver::new(Config::default()).solve(&p);
+    assert_eq!(s.status(), Status::Optimal);
+    assert!(
+        t.elapsed() < Duration::from_secs(30),
+        "transport LP took {:?}",
+        t.elapsed()
+    );
+    // total shipped must meet demand
+    let total: f64 = s.values().iter().sum();
+    assert!(total >= 30.0 * 24.0 - 1e-4);
+}
+
+#[test]
+fn medium_setcover_solves() {
+    let p = set_cover(120, 60);
+    let t = Instant::now();
+    let s = Solver::new(Config::default().with_time_limit(Duration::from_secs(60))).solve(&p);
+    assert!(s.status().has_solution(), "status {:?}", s.status());
+    assert!(p.check_feasible(s.values(), 1e-5).is_none());
+    eprintln!(
+        "set_cover(120,60): {:?} nodes={} iters={} obj={}",
+        t.elapsed(),
+        s.stats().nodes,
+        s.stats().simplex_iters,
+        s.objective()
+    );
+}
+
+#[test]
+#[ignore = "large-scale benchmark; run explicitly with --ignored in release mode"]
+fn large_lp_scaling() {
+    let p = transport(80, 80); // 6400 vars, 160 rows
+    let t = Instant::now();
+    let s = Solver::new(Config::default()).solve(&p);
+    assert_eq!(s.status(), Status::Optimal);
+    eprintln!("transport(80,80): {:?} iters={}", t.elapsed(), s.stats().simplex_iters);
+}
+
+#[test]
+#[ignore = "large-scale benchmark; run explicitly with --ignored in release mode"]
+fn large_setcover_scaling() {
+    let p = set_cover(600, 300);
+    let t = Instant::now();
+    let s = Solver::new(Config::default().with_time_limit(Duration::from_secs(120))).solve(&p);
+    assert!(s.status().has_solution());
+    eprintln!(
+        "set_cover(600,300): {:?} nodes={} obj={} gap={:.4}",
+        t.elapsed(),
+        s.stats().nodes,
+        s.objective(),
+        s.gap()
+    );
+}

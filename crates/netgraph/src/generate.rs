@@ -1,0 +1,86 @@
+//! Graph generators used by tests and benchmarks.
+
+use crate::graph::{DiGraph, NodeId};
+
+/// Builds a bidirectional grid graph of `rows x cols` nodes with unit
+/// weights; node `(r, c)` has index `r * cols + c`.
+///
+/// # Examples
+///
+/// ```
+/// let g = netgraph::generate::grid(3, 4);
+/// assert_eq!(g.num_nodes(), 12);
+/// // interior edges: horizontal 3*3*2 + vertical 2*4*2 = 34
+/// assert_eq!(g.num_edges(), 34);
+/// ```
+pub fn grid(rows: usize, cols: usize) -> DiGraph {
+    let mut g = DiGraph::new(rows * cols);
+    let idx = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1), 1.0);
+                g.add_edge(idx(r, c + 1), idx(r, c), 1.0);
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c), 1.0);
+                g.add_edge(idx(r + 1, c), idx(r, c), 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// Builds a random geometric digraph: `n` nodes placed uniformly in a
+/// `side x side` square, with a symmetric pair of edges between nodes closer
+/// than `radius`; edge weight = Euclidean distance. Returns the graph and
+/// the node positions.
+pub fn random_geometric(
+    n: usize,
+    side: f64,
+    radius: f64,
+    rng: &mut impl rand::Rng,
+) -> (DiGraph, Vec<(f64, f64)>) {
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pos[i].0 - pos[j].0;
+            let dy = pos[i].1 - pos[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius {
+                g.add_edge(NodeId(i), NodeId(j), d);
+                g.add_edge(NodeId(j), NodeId(i), d);
+            }
+        }
+    }
+    (g, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_path;
+
+    #[test]
+    fn grid_shortest_path_is_manhattan() {
+        let g = grid(4, 5);
+        let p = shortest_path(&g, NodeId(0), NodeId(3 * 5 + 4)).unwrap();
+        assert_eq!(p.cost(), 7.0); // 3 down + 4 right
+    }
+
+    #[test]
+    fn geometric_graph_is_symmetric() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, pos) = random_geometric(30, 100.0, 30.0, &mut rng);
+        assert_eq!(pos.len(), 30);
+        for e in g.edge_ids() {
+            let (f, t) = g.endpoints(e);
+            assert!(g.find_edge(t, f).is_some(), "missing reverse edge");
+            assert!(g.weight(e) <= 30.0);
+        }
+    }
+}

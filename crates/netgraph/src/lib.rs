@@ -1,0 +1,32 @@
+//! Directed weighted graphs, Dijkstra, and Yen's K-shortest loopless paths.
+//!
+//! This crate is the routing substrate of the wireless-network DSE stack:
+//! the paper's Algorithm 1 generates candidate network routes by running
+//! Yen's K-shortest-path routine ([`yen::k_shortest_paths`]) on a template
+//! graph weighted by estimated link path loss.
+//!
+//! # Examples
+//!
+//! ```
+//! use netgraph::{DiGraph, NodeId, yen::k_shortest_paths};
+//!
+//! let mut g = DiGraph::new(4);
+//! g.add_edge(NodeId(0), NodeId(1), 1.0);
+//! g.add_edge(NodeId(1), NodeId(3), 1.0);
+//! g.add_edge(NodeId(0), NodeId(2), 2.0);
+//! g.add_edge(NodeId(2), NodeId(3), 2.0);
+//! let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), 5);
+//! assert_eq!(paths.len(), 2);
+//! assert!(paths[0].cost() <= paths[1].cost());
+//! ```
+
+pub mod dijkstra;
+pub mod generate;
+pub mod graph;
+pub mod paths;
+pub mod yen;
+
+pub use dijkstra::{distances_from, shortest_path, shortest_path_filtered, Bans};
+pub use graph::{DiGraph, EdgeId, NodeId};
+pub use paths::{max_disjoint_subset, Path};
+pub use yen::{k_shortest_paths, k_shortest_paths_filtered};

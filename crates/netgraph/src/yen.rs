@@ -1,0 +1,271 @@
+//! Yen's K-shortest loopless paths (paper reference 19).
+//!
+//! Algorithm 1 of the paper calls this routine (`KSHORTEST`) with the link
+//! path-loss matrix as edge weights to propose candidate paths for the
+//! approximate encoding. The implementation follows Yen's classic spur-node
+//! scheme on top of [`crate::dijkstra`] with query-time bans.
+
+use crate::dijkstra::{shortest_path_filtered, Bans};
+use crate::graph::{DiGraph, NodeId};
+use crate::paths::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Candidate {
+    path: Path,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.path.cost() == other.path.cost()
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap on cost, tie-break on fewer hops then node sequence for
+        // deterministic output
+        other
+            .path
+            .cost()
+            .partial_cmp(&self.path.cost())
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.path.len().cmp(&self.path.len()))
+            .then_with(|| other.path.nodes().cmp(self.path.nodes()))
+    }
+}
+
+/// Computes up to `k` shortest loopless paths from `src` to `dst` in
+/// non-decreasing cost order, honoring `base_bans` (used by Algorithm 1 to
+/// disconnect previously chosen paths and to drop low-quality links).
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct loopless paths.
+pub fn k_shortest_paths_filtered(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    base_bans: &Bans,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let first = match shortest_path_filtered(g, src, dst, base_bans) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut accepted: Vec<Path> = vec![first];
+    let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("accepted is non-empty").clone();
+        // Spur from every node of the previous path except the target.
+        for i in 0..prev.len() {
+            let spur_node = prev.nodes()[i];
+            let root = prev.prefix(i);
+            let root_cost: f64 = root.edges().iter().map(|&e| g.weight(e)).sum();
+
+            let mut bans = Bans {
+                nodes: base_bans.nodes.clone(),
+                edges: base_bans.edges.clone(),
+            };
+            bans.nodes.resize(g.num_nodes(), false);
+            bans.edges.resize(g.num_edges(), false);
+            // Ban the next edge of every accepted path sharing this root
+            // (edge-sequence prefix: in a multigraph, paths through
+            // different parallel edges have different roots).
+            for p in &accepted {
+                if p.len() > i && p.edges()[..i] == root.edges()[..] {
+                    bans.edges[p.edges()[i].index()] = true;
+                }
+            }
+            // Ban root nodes except the spur node (looplessness).
+            for n in &root.nodes()[..i] {
+                bans.nodes[n.index()] = true;
+            }
+
+            if let Some(spur) = shortest_path_filtered(g, spur_node, dst, &bans) {
+                let rooted = Path::new(
+                    root.nodes().to_vec(),
+                    root.edges().to_vec(),
+                    root_cost,
+                );
+                if let Some(total) = rooted.join(&spur) {
+                    // Deduplicate against accepted and queued candidates by
+                    // edge sequence (paths through different parallel edges
+                    // are distinct in a multigraph).
+                    let dup = accepted.iter().any(|p| p.edges() == total.edges())
+                        || candidates.iter().any(|c| c.path.edges() == total.edges());
+                    if !dup {
+                        candidates.push(Candidate { path: total });
+                    }
+                }
+            }
+        }
+        match candidates.pop() {
+            Some(c) => accepted.push(c.path),
+            None => break,
+        }
+    }
+    accepted
+}
+
+/// [`k_shortest_paths_filtered`] without restrictions.
+pub fn k_shortest_paths(g: &DiGraph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    k_shortest_paths_filtered(g, src, dst, k, &Bans::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeId;
+
+    /// The classic example graph from Yen's 1971 paper (nodes C,D,E,F,G,H).
+    fn yen_example() -> (DiGraph, NodeId, NodeId) {
+        // 0=C, 1=D, 2=E, 3=F, 4=G, 5=H
+        let mut g = DiGraph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 3.0); // C->D
+        g.add_edge(NodeId(0), NodeId(2), 2.0); // C->E
+        g.add_edge(NodeId(1), NodeId(3), 4.0); // D->F
+        g.add_edge(NodeId(2), NodeId(1), 1.0); // E->D
+        g.add_edge(NodeId(2), NodeId(3), 2.0); // E->F
+        g.add_edge(NodeId(2), NodeId(4), 3.0); // E->G
+        g.add_edge(NodeId(3), NodeId(4), 2.0); // F->G
+        g.add_edge(NodeId(3), NodeId(5), 1.0); // F->H
+        g.add_edge(NodeId(4), NodeId(5), 2.0); // G->H
+        (g, NodeId(0), NodeId(5))
+    }
+
+    #[test]
+    fn yen_classic_first_three() {
+        let (g, s, t) = yen_example();
+        let paths = k_shortest_paths(&g, s, t, 3);
+        assert_eq!(paths.len(), 3);
+        // K1: C-E-F-H cost 5
+        assert_eq!(paths[0].cost(), 5.0);
+        assert_eq!(
+            paths[0].nodes(),
+            &[NodeId(0), NodeId(2), NodeId(3), NodeId(5)]
+        );
+        // K2: C-E-G-H cost 7
+        assert_eq!(paths[1].cost(), 7.0);
+        assert_eq!(
+            paths[1].nodes(),
+            &[NodeId(0), NodeId(2), NodeId(4), NodeId(5)]
+        );
+        // K3: cost 8 (two options; C-D-F-H or C-E-F-G-H, both cost 8)
+        assert_eq!(paths[2].cost(), 8.0);
+    }
+
+    #[test]
+    fn costs_non_decreasing_and_paths_distinct() {
+        let (g, s, t) = yen_example();
+        let paths = k_shortest_paths(&g, s, t, 10);
+        for w in paths.windows(2) {
+            assert!(w[0].cost() <= w[1].cost() + 1e-12);
+        }
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert_ne!(paths[i].nodes(), paths[j].nodes());
+            }
+            assert!(paths[i].validate(&g, 1e-9).is_ok());
+        }
+    }
+
+    #[test]
+    fn k_one_equals_dijkstra() {
+        let (g, s, t) = yen_example();
+        let yen = k_shortest_paths(&g, s, t, 1);
+        let dij = crate::dijkstra::shortest_path(&g, s, t).unwrap();
+        assert_eq!(yen.len(), 1);
+        assert_eq!(yen[0].nodes(), dij.nodes());
+    }
+
+    #[test]
+    fn exhausts_paths_in_small_graph() {
+        // diamond has exactly 2 s-t paths
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 2.0);
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), 10);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn no_path_returns_empty() {
+        let g = DiGraph::new(3);
+        assert!(k_shortest_paths(&g, NodeId(0), NodeId(2), 4).is_empty());
+    }
+
+    #[test]
+    fn base_bans_respected() {
+        let (g, s, t) = yen_example();
+        let mut bans = Bans::none(&g);
+        bans.edges[4] = true; // ban E->F
+        let paths = k_shortest_paths_filtered(&g, s, t, 5, &bans);
+        for p in &paths {
+            assert!(!p.edges().contains(&EdgeId(4)));
+        }
+        // best without E->F: C-E-G-H cost 7
+        assert_eq!(paths[0].cost(), 7.0);
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_enumeration() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..15 {
+            let n = rng.gen_range(3..8);
+            let mut g = DiGraph::new(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.45) {
+                        // integer-ish weights reduce tie ambiguity
+                        g.add_edge(NodeId(u), NodeId(v), rng.gen_range(1..20) as f64);
+                    }
+                }
+            }
+            let s = NodeId(0);
+            let t = NodeId(n - 1);
+            // brute force: DFS all simple paths
+            let mut all: Vec<(f64, Vec<usize>)> = Vec::new();
+            let mut stack = vec![(vec![0usize], 0.0f64)];
+            while let Some((nodes, cost)) = stack.pop() {
+                let last = *nodes.last().expect("path never empty");
+                if last == n - 1 {
+                    all.push((cost, nodes));
+                    continue;
+                }
+                for (_, to, w) in g.out_edges(NodeId(last)) {
+                    if !nodes.contains(&to.index()) {
+                        let mut nn = nodes.clone();
+                        nn.push(to.index());
+                        stack.push((nn, cost + w));
+                    }
+                }
+            }
+            all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("costs are finite"));
+            let k = 5.min(all.len());
+            let yen = k_shortest_paths(&g, s, t, 5);
+            assert_eq!(yen.len(), all.len().min(5), "path count");
+            for i in 0..k {
+                assert!(
+                    (yen[i].cost() - all[i].0).abs() < 1e-9,
+                    "path {} cost {} vs brute {}",
+                    i,
+                    yen[i].cost(),
+                    all[i].0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! File-driven exploration, mirroring the paper's tool inputs: an SVG floor
+//! plan, a text component library, and a pattern-language spec file.
+//!
+//! ```sh
+//! cargo run --release --example from_files
+//! ```
+
+use wsn_dse::archex::{design_to_svg, NetworkTemplate};
+use wsn_dse::channel::{LogDistance, MultiWall};
+use wsn_dse::devlib::parse_library;
+use wsn_dse::floorplan::parse_svg;
+use wsn_dse::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/assets");
+
+    // 1. Floor plan from SVG (walls + device markers).
+    let plan = parse_svg(&std::fs::read_to_string(base.join("floor.svg"))?)?;
+    println!(
+        "plan: {:.0} x {:.0} m, {} walls, {} markers",
+        plan.width(),
+        plan.height(),
+        plan.walls().len(),
+        plan.markers().len()
+    );
+
+    // 2. Component library from its text format.
+    let library = parse_library(&std::fs::read_to_string(base.join("library.txt"))?)?;
+    println!("library: {} components", library.len());
+
+    // 3. Requirements from the pattern language.
+    let requirements =
+        Requirements::from_spec_text(&std::fs::read_to_string(base.join("requirements.spec"))?)?;
+    println!(
+        "requirements: {} route families, SNR >= {:.0} dB, lifetime >= {:?} y",
+        requirements.routes.len(),
+        requirements.effective_min_snr_db(),
+        requirements.min_lifetime_years
+    );
+
+    // 4. Template from the plan; channel model from the spec parameters.
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base_model = LogDistance::at_frequency(
+        requirements.params.freq_hz,
+        requirements.params.pl_exponent,
+    );
+    template.compute_path_loss(&MultiWall::new(base_model, &plan));
+    template.prune_links(
+        &library,
+        requirements.params.noise_dbm,
+        requirements.effective_min_snr_db(),
+    );
+
+    // 5. Explore and report.
+    let out = explore(
+        &template,
+        &library,
+        &requirements,
+        &ExploreOptions::approx(8),
+    )?;
+    println!("status: {}", out.status);
+    let design = out.design.ok_or("no feasible design")?;
+    println!("cost: ${:.0}, nodes: {}", design.total_cost, design.num_nodes());
+    for r in &design.routes {
+        let names: Vec<&str> = r
+            .nodes
+            .iter()
+            .map(|&i| template.nodes()[i].name.as_str())
+            .collect();
+        println!("  route[{}]: {}", r.replica, names.join(" -> "));
+    }
+    let violations = verify_design(&design, &template, &library, &requirements);
+    println!(
+        "verification: {}",
+        if violations.is_empty() {
+            "all requirements hold".to_string()
+        } else {
+            format!("{:?}", violations)
+        }
+    );
+
+    std::fs::create_dir_all("out")?;
+    let svg = design_to_svg(&plan, &template, &design, &library, "from_files design");
+    std::fs::write("out/example_from_files.svg", svg)?;
+    println!("wrote out/example_from_files.svg");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The K* quality/effort trade-off (paper §4.3): sweep the number of
+//! candidate paths and watch the objective improve while solve time grows,
+//! then let the automatic search pick K*.
+//!
+//! ```sh
+//! cargo run --release --example kstar_tradeoff
+//! ```
+
+use std::time::Duration;
+use wsn_dse::archex::kstar::{best_step, search_kstar, KstarSearch};
+use wsn_dse::archex::{NetworkTemplate, Table};
+use wsn_dse::channel::{LogDistance, MultiWall};
+use wsn_dse::devlib::catalog;
+use wsn_dse::floorplan::generate::{data_collection_markers, office_floor, OfficeParams};
+use wsn_dse::prelude::Requirements;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An office floor with 12 sensors and a sparse relay grid: sensors
+    // cannot reach the sink directly under the 20 dB SNR floor, so routing
+    // choices (and therefore K*) genuinely matter.
+    let mut plan = office_floor(&OfficeParams::default());
+    data_collection_markers(&mut plan, 12, (6, 4));
+    let library = catalog::zigbee_reference();
+    let requirements = Requirements::from_spec_text(
+        "routes  = has_path(sensors, sink)\n\
+         routes2 = has_path(sensors, sink)\n\
+         disjoint_links(routes, routes2)\n\
+         min_signal_to_noise(20)\n\
+         objective minimize cost",
+    )?;
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base = LogDistance::at_frequency(
+        requirements.params.freq_hz,
+        requirements.params.pl_exponent,
+    );
+    template.compute_path_loss(&MultiWall::new(base, &plan));
+    template.prune_links(
+        &library,
+        requirements.params.noise_dbm,
+        requirements.effective_min_snr_db(),
+    );
+
+    let mut cfg = KstarSearch {
+        ks: vec![1, 3, 5, 10, 20],
+        time_threshold: Duration::from_secs(120),
+        ..Default::default()
+    };
+    cfg.solver.time_limit = Some(Duration::from_secs(120));
+    cfg.solver.rel_gap = 0.005;
+    let steps = search_kstar(&template, &library, &requirements, &cfg)?;
+
+    let mut table = Table::new(
+        "K* sweep: solution quality vs effort (12 sensors, 2 disjoint routes each)",
+        &["K*", "Cost ($)", "Time (s)", "Constraints", "Status"],
+    );
+    for s in &steps {
+        table.row(&[
+            s.kstar.to_string(),
+            s.outcome
+                .design
+                .as_ref()
+                .map(|d| format!("{:.0}", d.total_cost))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.2}", s.outcome.stats.solve_time.as_secs_f64()),
+            s.outcome.stats.num_cons.to_string(),
+            format!("{}", s.outcome.status),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(best) = best_step(&steps) {
+        println!(
+            "auto-selected K* = {} (cost ${:.0})",
+            best.kstar,
+            best.outcome
+                .design
+                .as_ref()
+                .map(|d| d.total_cost)
+                .unwrap_or(f64::NAN)
+        );
+    }
+    Ok(())
+}

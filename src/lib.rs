@@ -1,0 +1,71 @@
+//! # wsn_dse — wireless network design-space exploration
+//!
+//! A from-scratch Rust reproduction of *"Optimized Selection of Wireless
+//! Network Topologies and Components via Efficient Pruning of Feasible
+//! Paths"* (Kirov, Nuzzo, Passerone, Sangiovanni-Vincentelli — DAC 2018).
+//!
+//! This facade re-exports the full stack:
+//!
+//! * [`milp`] — sparse simplex + branch-and-bound MILP solver,
+//! * [`lpmodel`] — symbolic modeling layer with exact linearizations,
+//! * [`netgraph`] — graphs, Dijkstra, Yen's K-shortest loopless paths,
+//! * [`channel`] — path loss (log-distance, multi-wall), BER, ETX,
+//! * [`floorplan`] — floor plans, SVG subset parser/writer, generators,
+//! * [`devlib`] — component libraries (ZigBee-class reference catalog),
+//! * [`archex`] — the exploration core: templates, the pattern spec
+//!   language, exact and Algorithm-1 approximate path encodings, the
+//!   end-to-end [`archex::explore::explore`] driver, and design
+//!   verification.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wsn_dse::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A template: one sensor, two relay candidates, a sink.
+//! let mut t = NetworkTemplate::new();
+//! t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+//! t.add_node("r0", Point::new(15.0, 5.0), NodeRole::Relay);
+//! t.add_node("r1", Point::new(15.0, -5.0), NodeRole::Relay);
+//! t.add_node("sink", Point::new(30.0, 0.0), NodeRole::Sink);
+//! t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+//! let lib = catalog::zigbee_reference();
+//! t.prune_links(&lib, -100.0, 10.0);
+//!
+//! // 2. Requirements in the pattern language.
+//! let req = Requirements::from_spec_text(
+//!     "p = has_path(sensors, sink)\n\
+//!      min_signal_to_noise(12)\n\
+//!      objective minimize cost",
+//! )?;
+//!
+//! // 3. Explore with the approximate (Algorithm 1) encoding.
+//! let out = explore(&t, &lib, &req, &ExploreOptions::approx(5))?;
+//! let design = out.design.expect("feasible");
+//! assert!(verify_design(&design, &t, &lib, &req).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use archex;
+pub use channel;
+pub use devlib;
+pub use floorplan;
+pub use lpmodel;
+pub use milp;
+pub use netgraph;
+
+/// Convenient glob-import surface for examples and applications.
+pub mod prelude {
+    pub use archex::design::{verify_design, NetworkDesign};
+    pub use archex::explore::{explore, ExploreOptions};
+    pub use archex::kstar::{search_kstar, KstarSearch};
+    pub use archex::requirements::Requirements;
+    pub use archex::template::{NetworkTemplate, NodeRole};
+    pub use archex::{EncodeMode, Table};
+    pub use channel::{LinkBudget, LogDistance, Modulation, MultiWall, PathLossModel};
+    pub use devlib::{catalog, DeviceKind, Library};
+    pub use floorplan::{FloorPlan, Point};
+    pub use milp::{Config, Status};
+}

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: floor plan -> channel -> template ->
+//! spec -> encoding -> solver -> design -> independent verification.
+
+use wsn_dse::archex::design::verify_design;
+use wsn_dse::archex::explore::{explore, ExploreOptions};
+use wsn_dse::archex::{EncodeMode, NetworkTemplate, NodeRole};
+use wsn_dse::channel::{LogDistance, MultiWall};
+use wsn_dse::devlib::catalog;
+use wsn_dse::floorplan::generate::{
+    data_collection_markers, localization_markers, office_floor, OfficeParams,
+};
+use wsn_dse::floorplan::parse_svg;
+use wsn_dse::prelude::Requirements;
+
+/// Small office plan reused by the tests.
+fn small_office() -> wsn_dse::floorplan::FloorPlan {
+    office_floor(&OfficeParams {
+        width: 40.0,
+        height: 25.0,
+        rooms_per_band: 4,
+        corridor_height: 4.0,
+        door_width: 1.2,
+    })
+}
+
+#[test]
+fn data_collection_pipeline_from_floorplan() {
+    let mut plan = small_office();
+    data_collection_markers(&mut plan, 5, (4, 3));
+    let library = catalog::zigbee_reference();
+    let req = Requirements::from_spec_text(
+        "routes  = has_path(sensors, sink)\n\
+         routes2 = has_path(sensors, sink)\n\
+         disjoint_links(routes, routes2)\n\
+         min_signal_to_noise(18)\n\
+         min_network_lifetime(3)\n\
+         objective minimize cost",
+    )
+    .expect("spec parses");
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base = LogDistance::at_frequency(req.params.freq_hz, req.params.pl_exponent);
+    template.compute_path_loss(&MultiWall::new(base, &plan));
+    template.prune_links(&library, req.params.noise_dbm, req.effective_min_snr_db());
+
+    let out = explore(&template, &library, &req, &ExploreOptions::approx(6)).expect("encodes");
+    let design = out.design.expect("feasible design");
+    let violations = verify_design(&design, &template, &library, &req);
+    assert!(violations.is_empty(), "violations: {:?}", violations);
+    // 5 sensors x 2 replicas
+    assert_eq!(design.routes.len(), 10);
+    // sensors are free, so cost comes from relays + sink
+    assert!(design.total_cost >= 80.0);
+    assert!(design.min_lifetime_years().expect("battery nodes") >= 3.0 * 0.95);
+}
+
+#[test]
+fn localization_pipeline_from_floorplan() {
+    let mut plan = small_office();
+    localization_markers(&mut plan, (5, 3), (4, 3));
+    let library = catalog::zigbee_reference();
+    let req = Requirements::from_spec_text(
+        "min_reachable_devices(3, -85)\nobjective minimize dsod",
+    )
+    .expect("spec parses");
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base = LogDistance::at_frequency(req.params.freq_hz, req.params.pl_exponent);
+    template.compute_path_loss(&MultiWall::new(base, &plan));
+
+    let out = explore(&template, &library, &req, &ExploreOptions::approx(8)).expect("encodes");
+    let design = out.design.expect("feasible design");
+    let violations = verify_design(&design, &template, &library, &req);
+    assert!(violations.is_empty(), "violations: {:?}", violations);
+    assert_eq!(design.coverage.len(), 12);
+    assert!(design.coverage.iter().all(|&c| c >= 3));
+    assert!(design.avg_reachable().expect("coverage data") >= 3.0);
+}
+
+#[test]
+fn svg_floor_plan_roundtrip_drives_exploration() {
+    // A plan written as SVG text, parsed, and explored end to end.
+    let svg = r#"<svg width="30" height="12">
+        <line class="wall brick" x1="15" y1="0" x2="15" y2="5"/>
+        <line class="wall brick" x1="15" y1="7" x2="15" y2="12"/>
+        <circle class="sensor" cx="2" cy="6" r="0.3"/>
+        <circle class="relay" cx="14" cy="6" r="0.3"/>
+        <circle class="relay" cx="16" cy="6" r="0.3"/>
+        <circle class="sink" cx="28" cy="6" r="0.3"/>
+    </svg>"#;
+    let plan = parse_svg(svg).expect("valid svg");
+    assert_eq!(plan.markers().len(), 4);
+    let library = catalog::zigbee_reference();
+    let req = Requirements::from_spec_text(
+        "p = has_path(sensors, sink)\nmin_signal_to_noise(14)\nobjective minimize cost",
+    )
+    .expect("spec parses");
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base = LogDistance::at_frequency(req.params.freq_hz, req.params.pl_exponent);
+    template.compute_path_loss(&MultiWall::new(base, &plan));
+    template.prune_links(&library, req.params.noise_dbm, req.effective_min_snr_db());
+    let out = explore(&template, &library, &req, &ExploreOptions::approx(4)).expect("encodes");
+    let design = out.design.expect("feasible");
+    assert!(verify_design(&design, &template, &library, &req).is_empty());
+}
+
+#[test]
+fn approx_objective_never_beats_full() {
+    // On a small template the approximate optimum must be >= the exact one
+    // (it searches a subset of routings), and close for healthy K*.
+    let mut template = NetworkTemplate::new();
+    use wsn_dse::floorplan::Point;
+    template.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+    template.add_node("s1", Point::new(0.0, 16.0), NodeRole::Sensor);
+    for i in 0..4 {
+        template.add_node(
+            format!("r{}", i),
+            Point::new(14.0 + 12.0 * (i % 2) as f64, 2.0 + 12.0 * (i / 2) as f64),
+            NodeRole::Relay,
+        );
+    }
+    template.add_node("sink", Point::new(40.0, 8.0), NodeRole::Sink);
+    template.compute_path_loss(&LogDistance::indoor_2_4ghz());
+    let library = catalog::zigbee_reference();
+    template.prune_links(&library, -100.0, 12.0);
+    let req = Requirements::from_spec_text(
+        "p = has_path(sensors, sink)\nmin_signal_to_noise(12)\nobjective minimize cost",
+    )
+    .expect("spec parses");
+
+    let full = explore(&template, &library, &req, &ExploreOptions::full()).expect("encodes");
+    let fd = full.design.expect("full feasible");
+    for k in [1, 3, 8] {
+        let approx =
+            explore(&template, &library, &req, &ExploreOptions::approx(k)).expect("encodes");
+        let ad = approx.design.expect("approx feasible");
+        assert!(
+            ad.total_cost >= fd.total_cost - 1e-6,
+            "K*={}: approx {} < exact {}",
+            k,
+            ad.total_cost,
+            fd.total_cost
+        );
+    }
+    // generous K* matches the optimum here
+    let big = explore(&template, &library, &req, &ExploreOptions::approx(10)).expect("encodes");
+    assert!((big.design.expect("feasible").total_cost - fd.total_cost).abs() < 1e-6);
+}
+
+#[test]
+fn infeasible_spec_reports_cleanly() {
+    let mut plan = small_office();
+    data_collection_markers(&mut plan, 3, (3, 2));
+    let library = catalog::zigbee_reference();
+    // impossible SNR floor
+    let req = Requirements::from_spec_text(
+        "p = has_path(sensors, sink)\nmin_signal_to_noise(75)\nobjective minimize cost",
+    )
+    .expect("spec parses");
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base = LogDistance::at_frequency(req.params.freq_hz, req.params.pl_exponent);
+    template.compute_path_loss(&MultiWall::new(base, &plan));
+    // prune with a permissive threshold so candidate paths still exist and
+    // infeasibility must be proven by the solver, not the encoder
+    template.prune_links(&library, req.params.noise_dbm, 0.0);
+    match explore(&template, &library, &req, &ExploreOptions::approx(4)) {
+        Ok(out) => {
+            assert!(matches!(
+                out.status,
+                wsn_dse::milp::Status::Infeasible | wsn_dse::milp::Status::LimitNoSolution
+            ));
+            assert!(out.design.is_none());
+        }
+        // the encoder may already prove there is no candidate path at all
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("candidate"), "unexpected error {}", msg);
+        }
+    }
+}
+
+#[test]
+fn encoding_modes_report_sizes_consistently() {
+    let mut plan = small_office();
+    data_collection_markers(&mut plan, 4, (3, 2));
+    let library = catalog::zigbee_reference();
+    let req = Requirements::from_spec_text(
+        "p = has_path(sensors, sink)\nmin_signal_to_noise(15)\nobjective minimize cost",
+    )
+    .expect("spec parses");
+    let mut template = NetworkTemplate::from_plan(&plan);
+    let base = LogDistance::at_frequency(req.params.freq_hz, req.params.pl_exponent);
+    template.compute_path_loss(&MultiWall::new(base, &plan));
+    template.prune_links(&library, req.params.noise_dbm, req.effective_min_snr_db());
+    let approx = wsn_dse::archex::encode_only(
+        &template,
+        &library,
+        &req,
+        EncodeMode::Approx { kstar: 10 },
+    )
+    .expect("encodes");
+    let full =
+        wsn_dse::archex::encode_only(&template, &library, &req, EncodeMode::Full).expect("encodes");
+    // the gap widens dramatically with template size (Table 3); even on
+    // this tiny plan the full encoding must be strictly larger
+    assert!(
+        full.num_cons > approx.num_cons,
+        "full {} vs approx {}",
+        full.num_cons,
+        approx.num_cons
+    );
+    assert!(full.num_vars > approx.num_vars);
+}
