@@ -1,0 +1,37 @@
+//! Parallel branch-and-bound scaling: the 50-node / 20-end-device
+//! data-collection workload solved at 1, 2, 4, and 8 worker threads.
+//!
+//! Each sample runs the full explore pipeline (encode + solve + extract)
+//! with a bounded solver budget so a sample cannot run away on slow
+//! hardware; relative times across thread counts are the signal. On a
+//! single-core host all thread counts collapse to roughly the sequential
+//! time plus scheduling overhead.
+
+use archex::explore::explore;
+use archex::ExploreOptions;
+use bench::data_collection_workload;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_bnb_50n_20e");
+    g.sample_size(2);
+    let w = data_collection_workload(50, 20, "cost");
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut opts = ExploreOptions::approx(10);
+                opts.solver.time_limit = Some(Duration::from_secs(15));
+                opts.solver.rel_gap = 0.02;
+                opts.solver.threads = t;
+                black_box(
+                    explore(&w.template, &w.library, &w.requirements, &opts).expect("explores"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -16,6 +16,9 @@ use archex::{ExploreOptions, Table};
 use bench::data_collection_workload;
 use bench::util::{env_time_limit, env_usize, time_cell};
 
+/// A labeled tweak applied on top of the baseline exploration options.
+type Variant = (&'static str, Box<dyn Fn(&mut ExploreOptions)>);
+
 fn main() {
     let total = env_usize("AB_TOTAL", 50);
     let end = env_usize("AB_END", 20);
@@ -29,7 +32,7 @@ fn main() {
         "Ablation: encoding and solver design choices",
         &["Variant", "Cost ($)", "Time (s)", "B&B nodes", "Status"],
     );
-    let variants: Vec<(&str, Box<dyn Fn(&mut ExploreOptions)>)> = vec![
+    let variants: Vec<Variant> = vec![
         ("baseline (pair conflicts, heuristics, presolve)", Box::new(|_| {})),
         (
             "LQ as big-M indicators",

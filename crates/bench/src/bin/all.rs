@@ -16,4 +16,10 @@ fn main() {
             eprintln!("{} exited with {}", bin, status);
         }
     }
+    // table3 records every solver invocation (wall time, nodes, threads)
+    // as machine-readable JSON alongside the rendered tables
+    let json = std::env::var("T3_JSON").unwrap_or_else(|_| "BENCH_solver.json".to_string());
+    if std::path::Path::new(&json).exists() {
+        println!("\nSolver measurements written to {}", json);
+    }
 }

@@ -32,8 +32,21 @@ use archex::encode::EncodeMode;
 use archex::explore::{encode_only, explore, full_encoding_size_estimate};
 use archex::{ExploreOptions, Table};
 use bench::data_collection_workload;
+use bench::json::{write_solver_json, SolverRecord};
 use bench::util::{env_time_limit, env_usize, kilo, paper_scale, time_cell};
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// Thread counts for the scaling sweep (`T3_THREADS`, comma-separated).
+fn env_thread_list(default: &[usize]) -> Vec<usize> {
+    match std::env::var("T3_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
 
 fn main() {
     let paper_rows: Vec<(usize, usize)> = vec![
@@ -78,7 +91,10 @@ fn main() {
         ],
     );
 
-    for (row_idx, &(total, end)) in rows.iter().take(max_rows).enumerate() {
+    let mut records: Vec<SolverRecord> = Vec::new();
+    let selected: Vec<(usize, usize)> = rows.iter().take(max_rows).copied().collect();
+
+    for (row_idx, &(total, end)) in selected.iter().enumerate() {
         let w = data_collection_workload(total, end, "cost");
         // --- approximate encoding: measure size, then solve ---
         let t0 = Instant::now();
@@ -95,6 +111,19 @@ fn main() {
         opts.solver.rel_gap = 0.005;
         let out = explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
         let approx_time = time_cell(&out, tl);
+        records.push(SolverRecord {
+            kind: "row",
+            total,
+            end,
+            threads: opts.solver.threads,
+            effective_threads: opts.solver.effective_threads(),
+            wall_s: out.stats.solve_time.as_secs_f64(),
+            nodes: out.stats.bb_nodes,
+            status: format!("{:?}", out.status),
+            objective: out.design.as_ref().map(|d| d.objective),
+            encode_s: encode_time.as_secs_f64(),
+            cons: approx_stats.num_cons,
+        });
 
         // --- full encoding: measured when small enough, estimated beyond ---
         let (full_cons, approximate_marker) = if total <= full_build_max_nodes {
@@ -143,4 +172,60 @@ fn main() {
     println!("~ = estimated (model too large to materialize), as in the paper.");
     println!("\nExpected shape: approx is 1-2 orders of magnitude smaller and solves,");
     println!("while full enumeration only solves the smallest instance (if at all).");
+
+    // --- Thread-scaling sweep on the largest selected workload ---
+    // Prefers the paper's 250/100 instance when it was among the selected
+    // rows. `T3_THREADS=` (empty) skips the sweep.
+    let thread_counts = env_thread_list(&[1, 4]);
+    if let Some(&(total, end)) = selected
+        .iter()
+        .find(|&&r| r == (250, 100))
+        .or_else(|| selected.last())
+    {
+        if !thread_counts.is_empty() {
+            println!("\nThread scaling on [{} / {}]:", total, end);
+            let w = data_collection_workload(total, end, "cost");
+            let mut base_wall: Option<f64> = None;
+            for &t in &thread_counts {
+                let mut opts = ExploreOptions::approx(10);
+                opts.solver.time_limit = Some(tl);
+                opts.solver.rel_gap = 0.005;
+                opts.solver.threads = t;
+                let out =
+                    explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
+                let wall = out.stats.solve_time.as_secs_f64();
+                if t == 1 {
+                    base_wall = Some(wall);
+                }
+                let speedup = base_wall
+                    .map(|b| format!("{:.2}x", b / wall.max(1e-9)))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "  threads {:>2}: {:>8.2} s, {:>8} nodes, speedup vs 1: {}",
+                    t, wall, out.stats.bb_nodes, speedup
+                );
+                records.push(SolverRecord {
+                    kind: "scaling",
+                    total,
+                    end,
+                    threads: t,
+                    effective_threads: opts.solver.effective_threads(),
+                    wall_s: wall,
+                    nodes: out.stats.bb_nodes,
+                    status: format!("{:?}", out.status),
+                    objective: out.design.as_ref().map(|d| d.objective),
+                    encode_s: 0.0,
+                    cons: 0,
+                });
+            }
+        }
+    }
+
+    let json_path = PathBuf::from(
+        std::env::var("T3_JSON").unwrap_or_else(|_| "BENCH_solver.json".to_string()),
+    );
+    match write_solver_json(&json_path, "table3", &records) {
+        Ok(()) => println!("\nWrote {}", json_path.display()),
+        Err(e) => eprintln!("failed to write {}: {}", json_path.display(), e),
+    }
 }

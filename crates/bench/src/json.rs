@@ -1,0 +1,122 @@
+//! Machine-readable benchmark output (`BENCH_solver.json`).
+//!
+//! The table binaries print human-oriented tables; CI and the speedup
+//! checks want structured numbers. This module hand-writes the small JSON
+//! document (the workspace vendors no serde), recording one entry per
+//! solver invocation: workload size, thread count, wall time, and nodes
+//! explored.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One solver invocation worth of measurements.
+#[derive(Debug, Clone)]
+pub struct SolverRecord {
+    /// `"row"` for the main per-row runs, `"scaling"` for the thread sweep.
+    pub kind: &'static str,
+    /// Template size (total nodes).
+    pub total: usize,
+    /// Routed end devices.
+    pub end: usize,
+    /// `Config::threads` requested for the run (`0` = auto).
+    pub threads: usize,
+    /// Worker threads the run actually used.
+    pub effective_threads: usize,
+    /// Solver wall time in seconds.
+    pub wall_s: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Final solver status (`Optimal`, `LimitFeasible`, ...).
+    pub status: String,
+    /// Objective of the returned design, when one exists.
+    pub objective: Option<f64>,
+    /// Encoding wall time in seconds.
+    pub encode_s: f64,
+    /// Constraints in the encoded model.
+    pub cons: usize,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl SolverRecord {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kind\":\"{}\",\"total\":{},\"end\":{},\"threads\":{},",
+                "\"effective_threads\":{},\"wall_s\":{},\"nodes\":{},",
+                "\"status\":\"{}\",\"objective\":{},\"encode_s\":{},\"cons\":{}}}"
+            ),
+            self.kind,
+            self.total,
+            self.end,
+            self.threads,
+            self.effective_threads,
+            json_f64(self.wall_s),
+            self.nodes,
+            self.status,
+            self.objective.map_or("null".to_string(), json_f64),
+            json_f64(self.encode_s),
+            self.cons,
+        )
+    }
+}
+
+/// Writes `records` as `BENCH_solver.json`-style output to `path`. The
+/// document carries the host's available parallelism so speedup numbers
+/// can be judged against the hardware they ran on.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_solver_json(path: &Path, bench: &str, records: &[SolverRecord]) -> std::io::Result<()> {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"{bench}\",")?;
+    writeln!(f, "  \"host_available_parallelism\": {host},")?;
+    writeln!(f, "  \"records\": [")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(f, "    {}{}", r.to_json(), comma)?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_valid_json_shape() {
+        let r = SolverRecord {
+            kind: "row",
+            total: 50,
+            end: 20,
+            threads: 1,
+            effective_threads: 1,
+            wall_s: 1.25,
+            nodes: 42,
+            status: "Optimal".to_string(),
+            objective: Some(10.0),
+            encode_s: 0.004,
+            cons: 2685,
+        };
+        let s = r.to_json();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"wall_s\":1.250000"));
+        assert!(s.contains("\"objective\":10.000000"));
+        let r2 = SolverRecord {
+            objective: None,
+            ..r
+        };
+        assert!(r2.to_json().contains("\"objective\":null"));
+    }
+}

@@ -5,6 +5,7 @@
 //! (mirroring Fig. 1's 80 m x 45 m building), multi-wall path loss, the
 //! ZigBee reference library, and the paper's specification patterns.
 
+pub mod json;
 pub mod util;
 pub mod workloads;
 

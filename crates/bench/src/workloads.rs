@@ -103,7 +103,8 @@ pub fn data_collection_workload(
         requirements.params.freq_hz,
         requirements.params.pl_exponent,
     );
-    let mw = MultiWall::new(base, &plan);
+    // memoized wall crossings: the matrix asks for every ordered pair
+    let mw = MultiWall::new(base, &plan).cached();
     template.compute_path_loss(&mw);
     template.prune_links(
         &library,
@@ -135,7 +136,8 @@ pub fn localization_workload(
         requirements.params.freq_hz,
         requirements.params.pl_exponent,
     );
-    let mw = MultiWall::new(base, &plan);
+    // memoized wall crossings: the matrix asks for every ordered pair
+    let mw = MultiWall::new(base, &plan).cached();
     template.compute_path_loss(&mw);
     Localization {
         plan,

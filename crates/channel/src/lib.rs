@@ -33,5 +33,6 @@ pub mod pathloss;
 pub use link::{etx_convex_breakpoints, etx_from_snr, lower_convex_hull, LinkBudget, ETX_MAX};
 pub use modulation::{db_to_linear, erfc, linear_to_db, q_function, Modulation};
 pub use pathloss::{
-    reference_loss_db, LogDistance, MeasuredPathLoss, MultiWall, PathLossModel, Shadowed,
+    reference_loss_db, CachedMultiWall, LogDistance, MeasuredPathLoss, MultiWall, PathLossModel,
+    Shadowed,
 };

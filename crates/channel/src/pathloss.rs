@@ -73,9 +73,45 @@ impl<'a> MultiWall<'a> {
     }
 }
 
+impl<'a> MultiWall<'a> {
+    /// Wraps this model in a per-pair wall-crossing cache. Path-loss
+    /// matrices query each `(a, b)` and `(b, a)` pair, and repeated
+    /// template evaluations re-ask the same pairs, so memoizing the
+    /// segment-intersection work pays off quickly on plans with many
+    /// walls.
+    pub fn cached(&self) -> CachedMultiWall<'a> {
+        CachedMultiWall {
+            base: self.base,
+            cache: floorplan::CrossingCache::new(self.plan),
+        }
+    }
+}
+
 impl PathLossModel for MultiWall<'_> {
     fn path_loss_db(&self, a: Point, b: Point) -> f64 {
         self.base.path_loss_db(a, b) + self.plan.wall_loss_db(a, b)
+    }
+}
+
+/// [`MultiWall`] with memoized wall-crossing lookups; see
+/// [`MultiWall::cached`]. Produces bit-identical losses to the uncached
+/// model.
+#[derive(Debug)]
+pub struct CachedMultiWall<'a> {
+    base: LogDistance,
+    cache: floorplan::CrossingCache<'a>,
+}
+
+impl CachedMultiWall<'_> {
+    /// `(hits, misses)` of the underlying crossing cache.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.cache.stats()
+    }
+}
+
+impl PathLossModel for CachedMultiWall<'_> {
+    fn path_loss_db(&self, a: Point, b: Point) -> f64 {
+        self.base.path_loss_db(a, b) + self.cache.wall_loss_db(a, b)
     }
 }
 
@@ -124,7 +160,7 @@ impl<M: PathLossModel> MeasuredPathLoss<M> {
         let mut best: Option<(usize, f64)> = None;
         for (i, &s) in self.sites.iter().enumerate() {
             let d = s.distance(p);
-            if d <= self.tolerance_m && best.map_or(true, |(_, bd)| d < bd) {
+            if d <= self.tolerance_m && best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }

@@ -220,7 +220,7 @@ mod tests {
     use crate::encode::objective::encode_objective;
     use crate::encode::routing::{encode_approx, resolve_routes};
     use crate::requirements::Requirements;
-    use channel::{etx_from_snr, LogDistance, PathLossModel};
+    use channel::{etx_from_snr, LogDistance};
     use devlib::catalog;
     use floorplan::Point;
     use milp::Config;

@@ -6,8 +6,10 @@ use crate::requirements::Requirements;
 use crate::spec::Selector;
 use crate::template::{NetworkTemplate, NodeRole};
 use lpmodel::LinExpr;
-use netgraph::{k_shortest_paths_filtered, Bans, NodeId};
+use netgraph::{k_shortest_paths_filtered, Bans, DiGraph, NodeId, Path};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A resolved, concrete route requirement.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +121,83 @@ pub fn encode_approx(
     concrete: &[ConcreteRoute],
     kstar: usize,
 ) -> Result<(), EncodeError> {
+    encode_approx_with_threads(enc, template, req, concrete, kstar, 0)
+}
+
+/// Candidate paths of one `(group, src, dst)` key, one entry per replica.
+type GroupPaths = Vec<Vec<Path>>;
+
+/// Phase 1 of [`encode_approx`]: runs the Yen/ban iteration for one key.
+/// Pure path computation — no model state — so different keys can run on
+/// different threads.
+fn candidate_paths_for_group(
+    graph: &DiGraph,
+    edge_id: &HashMap<(usize, usize), usize>,
+    max_hops: &[Option<usize>],
+    src: usize,
+    dst: usize,
+    k_per_rep: usize,
+) -> Result<GroupPaths, EncodeError> {
+    let nrep = max_hops.len();
+    let mut bans = Bans::none(graph);
+    let mut out = Vec::with_capacity(nrep);
+    for (rep, &hops) in max_hops.iter().enumerate() {
+        let paths = k_shortest_paths_filtered(graph, NodeId(src), NodeId(dst), k_per_rep, &bans);
+        let paths: Vec<_> = paths
+            .into_iter()
+            .filter(|p| hops.is_none_or(|h| p.len() <= h))
+            .collect();
+        if paths.is_empty() {
+            return Err(EncodeError::NoCandidatePaths { src, dst });
+        }
+        // DisconnectMinDisjointPath: ban the candidate sharing the most
+        // edges with the others, so the next replica iteration produces
+        // at least one fully independent path.
+        if rep + 1 < nrep {
+            let mut worst = 0usize;
+            let mut worst_score = -1i64;
+            for (i, p) in paths.iter().enumerate() {
+                let score: i64 = paths
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, q)| p.shared_edges(q) as i64)
+                    .sum();
+                if score > worst_score {
+                    worst_score = score;
+                    worst = i;
+                }
+            }
+            for w in paths[worst].nodes().windows(2) {
+                if let Some(&eid) = edge_id.get(&(w[0].index(), w[1].index())) {
+                    bans.edges[eid] = true;
+                }
+            }
+        }
+        out.push(paths);
+    }
+    Ok(out)
+}
+
+/// [`encode_approx`] with an explicit Yen worker-thread count (`0` = the
+/// machine's available parallelism, `1` = fully sequential).
+///
+/// Candidate generation splits into two phases. Phase 1 computes every
+/// key's candidate paths — the Yen runs and inter-replica ban iteration for
+/// one `(group, src, dst)` key are a sequential chain, but distinct keys
+/// are independent, so they spread over `threads` workers. Phase 2 builds
+/// the model sequentially in sorted key order from the precomputed paths.
+/// Since phase 1 is pure and per-key deterministic, the resulting candidate
+/// sets, variable order, and constraints are identical for every `threads`
+/// value.
+pub fn encode_approx_with_threads(
+    enc: &mut Encoding,
+    template: &NetworkTemplate,
+    req: &Requirements,
+    concrete: &[ConcreteRoute],
+    kstar: usize,
+    threads: usize,
+) -> Result<(), EncodeError> {
     let kstar = kstar.max(1);
     let graph = template.graph();
     // Map template edge -> graph EdgeId for banning.
@@ -135,25 +214,66 @@ pub fn encode_approx(
     let mut keys: Vec<_> = groups.keys().copied().collect();
     keys.sort_unstable();
 
-    for key in keys {
-        let members = &groups[&key];
-        let (_, src, dst) = key;
+    // --- Phase 1: candidate paths per key, possibly in parallel ---
+    let per_key_hops: Vec<Vec<Option<usize>>> = keys
+        .iter()
+        .map(|key| {
+            groups[key]
+                .iter()
+                .map(|route| req.routes[route.family].max_hops)
+                .collect()
+        })
+        .collect();
+    let compute = |idx: usize| -> Result<GroupPaths, EncodeError> {
+        let (_, src, dst) = keys[idx];
+        let nrep = per_key_hops[idx].len();
+        candidate_paths_for_group(
+            &graph,
+            &edge_id,
+            &per_key_hops[idx],
+            src,
+            dst,
+            kstar.div_ceil(nrep),
+        )
+    };
+    let nworkers = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(keys.len())
+    .max(1);
+    let mut computed: Vec<Option<Result<GroupPaths, EncodeError>>> = Vec::new();
+    if nworkers <= 1 {
+        computed.extend((0..keys.len()).map(|i| Some(compute(i))));
+    } else {
+        let slots: Vec<Mutex<Option<Result<GroupPaths, EncodeError>>>> =
+            keys.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..nworkers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= keys.len() {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(compute(i));
+                });
+            }
+        });
+        computed.extend(slots.into_iter().map(|m| m.into_inner().unwrap()));
+    }
+
+    // --- Phase 2: sequential model build in sorted key order ---
+    for (key, result) in keys.iter().zip(computed) {
+        let members = &groups[key];
+        let &(_, src, dst) = key;
         let nrep = members.len();
-        let k_per_rep = kstar.div_ceil(nrep);
-        let mut bans = Bans::none(&graph);
+        // Surface errors in sorted key order, matching the sequential scan.
+        let group_paths = result.expect("every key computed")?;
         let mut replica_edge_used: Vec<HashMap<(usize, usize), lpmodel::Vid>> = Vec::new();
 
-        for (rep, route) in members.iter().enumerate() {
+        for (rep, (route, paths)) in members.iter().zip(&group_paths).enumerate() {
             let fam = &req.routes[route.family];
-            let paths =
-                k_shortest_paths_filtered(&graph, NodeId(src), NodeId(dst), k_per_rep, &bans);
-            let paths: Vec<_> = paths
-                .into_iter()
-                .filter(|p| fam.max_hops.map_or(true, |h| p.len() <= h))
-                .collect();
-            if paths.is_empty() {
-                return Err(EncodeError::NoCandidatePaths { src, dst });
-            }
             // Selector per candidate; exactly one candidate realizes the
             // route (replaces (1a)-(1c): Yen guarantees validity).
             let mut selector_sum = LinExpr::zero();
@@ -207,31 +327,6 @@ pub fn encode_approx(
                     edge_used,
                 },
             });
-
-            // DisconnectMinDisjointPath: ban the candidate sharing the most
-            // edges with the others, so the next replica iteration produces
-            // at least one fully independent path.
-            if rep + 1 < nrep {
-                let mut worst = 0usize;
-                let mut worst_score = -1i64;
-                for (i, p) in paths.iter().enumerate() {
-                    let score: i64 = paths
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, _)| j != i)
-                        .map(|(_, q)| p.shared_edges(q) as i64)
-                        .sum();
-                    if score > worst_score {
-                        worst_score = score;
-                        worst = i;
-                    }
-                }
-                for w in paths[worst].nodes().windows(2) {
-                    if let Some(&eid) = edge_id.get(&(w[0].index(), w[1].index())) {
-                        bans.edges[eid] = true;
-                    }
-                }
-            }
         }
 
         // Inter-replica link-disjointness: each edge may carry at most one
@@ -558,6 +653,39 @@ mod tests {
             e2.model.num_cons(),
             e1.model.num_cons()
         );
+    }
+
+    #[test]
+    fn candidate_sets_invariant_under_yen_threads() {
+        let t = diamond_template();
+        let lib = catalog::zigbee_reference();
+        let req = basic_req(
+            "p = has_path(sensors, sink)\nq = has_path(sensors, sink)\ndisjoint_links(p, q)",
+        );
+        let concrete = resolve_routes(&t, &req).unwrap();
+        let encode_at = |threads: usize| {
+            let mut enc = encode_mapping(&t, &lib).unwrap();
+            encode_approx_with_threads(&mut enc, &t, &req, &concrete, 6, threads).unwrap();
+            enc
+        };
+        let base = encode_at(1);
+        for threads in [2usize, 4] {
+            let enc = encode_at(threads);
+            assert_eq!(enc.model.num_cons(), base.model.num_cons());
+            assert_eq!(enc.routes.len(), base.routes.len());
+            for (ra, rb) in base.routes.iter().zip(&enc.routes) {
+                let (
+                    RouteVars::Approx { candidates: ca, .. },
+                    RouteVars::Approx { candidates: cb, .. },
+                ) = (&ra.vars, &rb.vars)
+                else {
+                    panic!("expected approx vars");
+                };
+                let nodes_a: Vec<_> = ca.iter().map(|c| c.nodes.clone()).collect();
+                let nodes_b: Vec<_> = cb.iter().map(|c| c.nodes.clone()).collect();
+                assert_eq!(nodes_a, nodes_b, "threads = {threads}");
+            }
+        }
     }
 
     #[test]

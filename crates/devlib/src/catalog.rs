@@ -13,6 +13,8 @@
 use crate::component::{Component, DeviceKind};
 use crate::library::Library;
 
+// one positional argument per datasheet column keeps the table below readable
+#[allow(clippy::too_many_arguments)]
 fn c(
     name: &str,
     kind: DeviceKind,

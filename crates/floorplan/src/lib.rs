@@ -18,11 +18,13 @@
 //! assert!(loss > 0.0);
 //! ```
 
+pub mod cache;
 pub mod generate;
 pub mod geom;
 pub mod plan;
 pub mod svg;
 
+pub use cache::CrossingCache;
 pub use geom::{Point, Segment};
 pub use plan::{FloorPlan, Marker, MarkerKind, Material, Wall};
 pub use svg::{parse_svg, write_svg, ParseSvgError, TopologyImage};

@@ -46,7 +46,7 @@ proptest! {
         let sol = m.solve(&Config::default());
         prop_assert!(sol.has_solution());
         let want_and = bits.iter().all(|&b| b == 1);
-        let want_or = bits.iter().any(|&b| b == 1);
+        let want_or = bits.contains(&1);
         prop_assert_eq!(sol.is_one(and), want_and);
         prop_assert_eq!(sol.is_one(or), want_or);
     }

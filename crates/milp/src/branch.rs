@@ -6,6 +6,20 @@
 //! storage stays small. Node selection is best-bound with depth-first
 //! plunging by default; branching uses pseudo-costs with a most-fractional
 //! fallback.
+//!
+//! # Parallel search
+//!
+//! With [`Config::threads`] above 1 the tree is explored by scoped worker
+//! threads: open nodes live in a shared best-bound heap behind a `Mutex`,
+//! the incumbent objective is published through an `AtomicU64` (f64 bits)
+//! so every worker prunes against the freshest bound, and each worker runs
+//! its own simplex instance with the shared warm-start bases (`Arc`).
+//! Workers plunge depth-first locally exactly like the sequential search.
+//! Node processing order differs run to run, so pseudo-cost learning and
+//! node counts vary — but pruning only ever discards nodes whose LP bound
+//! cannot beat the incumbent, so the *objective value* of the result is
+//! deterministic to within the configured gap tolerances at any thread
+//! count. `threads: 1` runs the original single-threaded loop unchanged.
 
 use crate::config::{Branching, Config, NodeSelection};
 use crate::heur;
@@ -15,8 +29,9 @@ use crate::simplex::{solve_lp, LpData, LpStatus, VStat};
 use crate::solution::{Solution, Stats, Status};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One open node: bound changes relative to the root plus bookkeeping.
 struct Node {
@@ -25,8 +40,9 @@ struct Node {
     /// LP bound inherited from the parent (internal minimize sense).
     bound: f64,
     depth: usize,
-    /// Warm-start statuses shared with the sibling.
-    warm: Option<Rc<Vec<VStat>>>,
+    /// Warm-start statuses shared with the sibling (and, in parallel
+    /// search, across worker threads).
+    warm: Option<Arc<Vec<VStat>>>,
 }
 
 /// Max-heap adapter: we want the node with the *smallest* bound on top.
@@ -55,7 +71,8 @@ impl Ord for HeapNode {
     }
 }
 
-/// Per-variable pseudo-cost records.
+/// Per-variable pseudo-cost records. Parallel workers keep their own copy:
+/// the records steer branching, not correctness, so they need no sharing.
 struct PseudoCosts {
     up_sum: Vec<f64>,
     up_cnt: Vec<usize>,
@@ -104,6 +121,76 @@ impl PseudoCosts {
     }
 }
 
+/// Read-only problem data shared by every search worker.
+struct SearchCtx<'a> {
+    lp: &'a LpData,
+    root_lb: &'a [f64],
+    root_ub: &'a [f64],
+    int_vars: &'a [usize],
+    reduced: &'a Problem,
+    cfg: &'a Config,
+    deadline: Option<Instant>,
+    /// `+1.0` when the user problem minimizes, `-1.0` when it maximizes.
+    sign: f64,
+    obj_offset: f64,
+}
+
+// The context crosses scoped-thread boundaries; keep that statically true.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<SearchCtx<'_>>();
+};
+
+impl SearchCtx<'_> {
+    /// Translates an internal (minimize-sense) objective to the user sense.
+    fn user_obj(&self, internal: f64) -> f64 {
+        self.sign * internal + self.obj_offset
+    }
+}
+
+/// What a tree search hands back to the wrap-up code.
+struct SearchOutcome {
+    /// Best integral solution, internal minimize sense.
+    incumbent: Option<(f64, Vec<f64>)>,
+    /// Smallest bound among still-open nodes (∞ when the tree is exhausted).
+    open_bound: f64,
+    hit_limit: bool,
+    /// A node LP was unbounded (only possible if the root was; defensive).
+    unbounded: bool,
+}
+
+/// Most fractional integer variable of `x`, if any.
+fn most_fractional(x: &[f64], int_vars: &[usize], int_tol: f64) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None;
+    for &j in int_vars {
+        let f = x[j] - x[j].floor();
+        let dist = (f - 0.5).abs();
+        if f > int_tol && f < 1.0 - int_tol && best.is_none_or(|(_, _, d)| dist < d) {
+            best = Some((j, f, dist));
+        }
+    }
+    best.map(|(j, f, _)| (j, f))
+}
+
+/// Bounded time window for one dive, clamped to the remaining solver
+/// budget: a dive may want `want_secs`, but it never gets more than half
+/// of what is left before `deadline`, and is skipped outright (`None`)
+/// when the budget is nearly exhausted — so a last-gasp dive cannot
+/// overshoot a small `time_limit`.
+fn dive_window(deadline: Option<Instant>, want_secs: f64) -> Option<Instant> {
+    let now = Instant::now();
+    match deadline {
+        None => Some(now + Duration::from_secs_f64(want_secs)),
+        Some(d) => {
+            let remaining = d.saturating_duration_since(now).as_secs_f64();
+            if remaining <= 0.05 {
+                return None;
+            }
+            Some(now + Duration::from_secs_f64(want_secs.min(remaining * 0.5)))
+        }
+    }
+}
+
 /// Solves `problem` by presolve + branch and bound. `start` anchors the time
 /// limit. Called through [`crate::Solver::solve`].
 pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
@@ -147,8 +234,17 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         .filter(|&j| reduced.var_type(VarId(j)) != VarType::Continuous)
         .collect();
 
-    // Finishing helper: translate internal objective to user sense.
-    let user_obj = |internal: f64| sign * internal + reduced.obj_offset();
+    let ctx = SearchCtx {
+        lp: &lp,
+        root_lb: &root_lb,
+        root_ub: &root_ub,
+        int_vars: &int_vars,
+        reduced,
+        cfg,
+        deadline,
+        sign,
+        obj_offset: reduced.obj_offset(),
+    };
 
     // --- Root LP ---
     stats.lp_solves += 1;
@@ -171,7 +267,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             return Solution {
                 status: Status::LimitNoSolution,
                 objective: f64::INFINITY,
-                best_bound: user_obj(f64::NEG_INFINITY),
+                best_bound: ctx.user_obj(f64::NEG_INFINITY),
                 values: Vec::new(),
                 stats,
             };
@@ -181,31 +277,6 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
 
     // --- Incumbent state (internal minimize sense) ---
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
-    let mut pc = PseudoCosts::new(n);
-    let frac_of = |x: &[f64]| -> Option<(usize, f64)> {
-        // most fractional integer variable
-        let mut best: Option<(usize, f64, f64)> = None;
-        for &j in &int_vars {
-            let f = x[j] - x[j].floor();
-            let dist = (f - 0.5).abs();
-            if f > cfg.int_tol && f < 1.0 - cfg.int_tol
-                && best.map_or(true, |(_, _, d)| dist < d)
-            {
-                best = Some((j, f, dist));
-            }
-        }
-        best.map(|(j, f, _)| (j, f))
-    };
-
-    // Heuristic time slices: dives must never eat the search budget. Each
-    // dive gets a bounded window; the global deadline still dominates.
-    let dive_deadline = |frac_secs: f64| -> Option<Instant> {
-        let local = Instant::now() + std::time::Duration::from_secs_f64(frac_secs);
-        Some(match deadline {
-            Some(d) => d.min(local),
-            None => local,
-        })
-    };
 
     // Root heuristics.
     if cfg.heuristics && !int_vars.is_empty() {
@@ -221,6 +292,9 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             heur::DiveStrategy::NearestInteger,
             heur::DiveStrategy::MostFractionalUp,
         ] {
+            let Some(dd) = dive_window(deadline, root_dive_budget) else {
+                break;
+            };
             if let Some((obj, x)) = heur::dive_with(
                 strategy,
                 reduced,
@@ -230,9 +304,9 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
                 &root_ub,
                 cfg,
                 Some(&root.statuses),
-                dive_deadline(root_dive_budget),
+                Some(dd),
             ) {
-                if incumbent.as_ref().map_or(true, |(o, _)| obj < *o) {
+                if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
                     incumbent = Some((obj, x));
                     stats.heuristic_solutions += 1;
                 }
@@ -241,16 +315,78 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     }
 
     // --- Search ---
-    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
-    let root_warm = Rc::new(root.statuses.clone());
-    heap.push(HeapNode(Node {
+    let root_node = Node {
         changes: Vec::new(),
         bound: root.obj,
         depth: 0,
-        warm: Some(root_warm),
-    }));
-    let mut lb_buf = root_lb.clone();
-    let mut ub_buf = root_ub.clone();
+        warm: Some(Arc::new(root.statuses.clone())),
+    };
+    let nthreads = cfg.effective_threads();
+    let outcome = if nthreads <= 1 || int_vars.is_empty() {
+        search_sequential(&ctx, root_node, incumbent, &mut stats)
+    } else {
+        search_parallel(&ctx, nthreads, root_node, incumbent, &mut stats)
+    };
+
+    // --- Wrap up ---
+    stats.elapsed = start.elapsed();
+    if outcome.unbounded {
+        return Solution::unbounded(stats);
+    }
+    match outcome.incumbent {
+        Some((obj, x)) => {
+            let values = ps.postsolve(&x);
+            let bound_internal = if outcome.hit_limit || outcome.open_bound.is_finite() {
+                outcome.open_bound.min(obj)
+            } else {
+                obj
+            };
+            let status = if outcome.hit_limit
+                && (obj - bound_internal > cfg.abs_gap
+                    && obj - bound_internal > cfg.rel_gap * obj.abs().max(1e-10))
+            {
+                Status::LimitFeasible
+            } else {
+                Status::Optimal
+            };
+            Solution {
+                status,
+                objective: ctx.user_obj(obj),
+                best_bound: ctx.user_obj(bound_internal),
+                values,
+                stats,
+            }
+        }
+        None => {
+            if outcome.hit_limit {
+                Solution {
+                    status: Status::LimitNoSolution,
+                    objective: f64::INFINITY,
+                    best_bound: ctx.user_obj(outcome.open_bound),
+                    values: Vec::new(),
+                    stats,
+                }
+            } else {
+                Solution::infeasible(stats)
+            }
+        }
+    }
+}
+
+/// The original single-threaded best-bound-with-plunging loop; this is the
+/// exact `threads: 1` behavior.
+fn search_sequential(
+    ctx: &SearchCtx<'_>,
+    root_node: Node,
+    mut incumbent: Option<(f64, Vec<f64>)>,
+    stats: &mut Stats,
+) -> SearchOutcome {
+    let cfg = ctx.cfg;
+    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+    heap.push(HeapNode(root_node));
+    let mut pc = PseudoCosts::new(ctx.root_lb.len());
+    let mut lb_buf = ctx.root_lb.to_vec();
+    let mut ub_buf = ctx.root_ub.to_vec();
     let mut hit_limit = false;
     let mut plunge_next: Option<Node> = None;
 
@@ -283,7 +419,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             }
         }
         // Limits.
-        if deadline.is_some_and(|d| Instant::now() >= d) {
+        if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
             hit_limit = true;
             break;
         }
@@ -296,22 +432,32 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         stats.nodes += 1;
 
         // Reconstruct bounds.
-        lb_buf.copy_from_slice(&root_lb);
-        ub_buf.copy_from_slice(&root_ub);
+        lb_buf.copy_from_slice(ctx.root_lb);
+        ub_buf.copy_from_slice(ctx.root_ub);
         for &(j, lo, hi) in &node.changes {
             lb_buf[j] = lb_buf[j].max(lo);
             ub_buf[j] = ub_buf[j].min(hi);
         }
 
         stats.lp_solves += 1;
-        let r = solve_lp(&lp, &lb_buf, &ub_buf, cfg, node.warm.as_deref().map(|v| &v[..]), deadline);
+        let r = solve_lp(
+            ctx.lp,
+            &lb_buf,
+            &ub_buf,
+            cfg,
+            node.warm.as_deref().map(|v| &v[..]),
+            ctx.deadline,
+        );
         stats.simplex_iters += r.iters;
         match r.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
-                // only possible if the root was unbounded; defensive
-                stats.elapsed = start.elapsed();
-                return Solution::unbounded(stats);
+                return SearchOutcome {
+                    incumbent: None,
+                    open_bound: f64::NEG_INFINITY,
+                    hit_limit: false,
+                    unbounded: true,
+                }
             }
             LpStatus::Limit => {
                 hit_limit = true;
@@ -319,8 +465,6 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             }
             LpStatus::Optimal => {}
         }
-        // Record pseudo-cost from the branch that created this node.
-        // (handled at child creation below via closure over parent info)
 
         if let Some((inc_obj, _)) = &incumbent {
             if r.obj >= *inc_obj - cfg.abs_gap {
@@ -328,21 +472,21 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             }
         }
 
-        match frac_of(&r.x) {
+        match most_fractional(&r.x, ctx.int_vars, cfg.int_tol) {
             None => {
                 // Integral: new incumbent.
                 let mut x = r.x.clone();
-                for &j in &int_vars {
+                for &j in ctx.int_vars {
                     x[j] = x[j].round();
                 }
-                let obj = lp.c.iter().zip(&x).map(|(cc, v)| cc * v).sum::<f64>();
-                if incumbent.as_ref().map_or(true, |(o, _)| obj < *o) {
+                let obj = ctx.lp.c.iter().zip(&x).map(|(cc, v)| cc * v).sum::<f64>();
+                if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
                     if cfg.verbose {
                         eprintln!(
                             "[milp] node {:>6}: incumbent {:.6} (bound {:.6})",
                             stats.nodes,
-                            user_obj(obj),
-                            user_obj(open_bound.min(r.obj))
+                            ctx.user_obj(obj),
+                            ctx.user_obj(open_bound.min(r.obj))
                         );
                     }
                     incumbent = Some((obj, x));
@@ -351,31 +495,10 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             }
             Some((mf_var, mf_frac)) => {
                 // Choose branching variable.
-                let (bvar, bfrac) = match cfg.branching {
-                    Branching::MostFractional => (mf_var, mf_frac),
-                    Branching::PseudoCost => {
-                        let mut best = (mf_var, mf_frac, -1.0f64);
-                        for &j in &int_vars {
-                            let f = r.x[j] - r.x[j].floor();
-                            if f <= cfg.int_tol || f >= 1.0 - cfg.int_tol {
-                                continue;
-                            }
-                            let s = if pc.initialized(j) {
-                                pc.score(j, f)
-                            } else {
-                                // uninitialized: prefer most fractional
-                                0.25 - (f - 0.5) * (f - 0.5)
-                            };
-                            if s > best.2 {
-                                best = (j, f, s);
-                            }
-                        }
-                        (best.0, best.1)
-                    }
-                };
+                let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
                 let xval = r.x[bvar];
                 let floor = xval.floor();
-                let warm = Rc::new(r.statuses);
+                let warm = Arc::new(r.statuses);
                 // Occasional in-tree diving heuristic; dive more eagerly
                 // (and with both strategies) while no incumbent exists.
                 let dive_period = if incumbent.is_some() { 64 } else { 16 };
@@ -389,60 +512,35 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
                         ]
                     };
                     for &strategy in strategies {
+                        let Some(dd) = dive_window(ctx.deadline, 3.0) else {
+                            break;
+                        };
                         if let Some((obj, x)) = heur::dive_with(
-                            strategy, reduced, &lp, &int_vars, &lb_buf, &ub_buf, cfg,
-                            Some(&warm), dive_deadline(3.0),
+                            strategy,
+                            ctx.reduced,
+                            ctx.lp,
+                            ctx.int_vars,
+                            &lb_buf,
+                            &ub_buf,
+                            cfg,
+                            Some(&warm),
+                            Some(dd),
                         ) {
-                            if incumbent.as_ref().map_or(true, |(o, _)| obj < *o) {
+                            if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
                                 incumbent = Some((obj, x));
                                 stats.heuristic_solutions += 1;
                             }
                         }
                     }
                 }
-                // Update pseudo-costs lazily using LP objective improvements:
-                // the degradation estimate for this node's own branch was
-                // recorded when the node was created; here we record for
-                // children when they are solved (approximated by recording
-                // parent->child delta at child solve time). To keep the
-                // implementation simple we record at child creation using the
-                // parent LP objective and the eventual child bound when the
-                // child is processed; instead, we use the standard proxy of
-                // objective increase per unit fractionality measured on the
-                // two children's LPs when they are popped. The proxy here:
-                // attribute the current node's (bound - parent bound) to the
-                // branch variable of the parent -- tracked via `changes`.
-                let down_child = Node {
-                    changes: {
-                        let mut ch = node.changes.clone();
-                        ch.push((bvar, f64::NEG_INFINITY, floor));
-                        ch
-                    },
-                    bound: r.obj,
-                    depth: node.depth + 1,
-                    warm: Some(Rc::clone(&warm)),
-                };
-                let up_child = Node {
-                    changes: {
-                        let mut ch = node.changes.clone();
-                        ch.push((bvar, floor + 1.0, f64::INFINITY));
-                        ch
-                    },
-                    bound: r.obj,
-                    depth: node.depth + 1,
-                    warm: Some(warm),
-                };
-                // Record pseudo-cost samples by solving proxy: use fractional
-                // distance as denominator when the child is eventually solved.
-                // Simplified online update: estimate from the LP objective of
-                // this node vs parent bound.
+                let (down_child, up_child) = make_children(&node, bvar, floor, r.obj, warm);
+                // Attribute this node's LP degradation to the parent's
+                // branch direction (online pseudo-cost proxy).
                 let parent_frac_gain = (r.obj - node.bound).max(0.0);
                 if let Some(&(pvar, plo, _phi)) = node.changes.last() {
-                    // the last change identifies the parent's branch direction
                     let went_up = plo.is_finite();
                     pc.record(pvar, went_up, parent_frac_gain.max(1e-9));
                 }
-                let _ = bfrac;
                 match cfg.node_selection {
                     NodeSelection::BestBound => {
                         heap.push(HeapNode(down_child));
@@ -464,49 +562,408 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         }
     }
 
-    // --- Wrap up ---
     let open_bound = match (&plunge_next, heap.peek()) {
         (Some(p), Some(h)) => p.bound.min(h.0.bound),
         (Some(p), None) => p.bound,
         (None, Some(h)) => h.0.bound,
         (None, None) => f64::INFINITY,
     };
-    stats.elapsed = start.elapsed();
-    match incumbent {
-        Some((obj, x)) => {
-            let values = ps.postsolve(&x);
-            let bound_internal = if hit_limit || !heap.is_empty() || plunge_next.is_some() {
-                open_bound.min(obj)
-            } else {
-                obj
-            };
-            let status = if hit_limit
-                && (obj - bound_internal > cfg.abs_gap
-                    && obj - bound_internal > cfg.rel_gap * obj.abs().max(1e-10))
-            {
-                Status::LimitFeasible
-            } else {
-                Status::Optimal
-            };
-            Solution {
-                status,
-                objective: user_obj(obj),
-                best_bound: user_obj(bound_internal),
-                values,
-                stats,
+    SearchOutcome {
+        incumbent,
+        open_bound,
+        hit_limit,
+        unbounded: false,
+    }
+}
+
+/// Picks the branching variable per the configured rule.
+fn choose_branch(
+    cfg: &Config,
+    pc: &PseudoCosts,
+    x: &[f64],
+    int_vars: &[usize],
+    mf_var: usize,
+    mf_frac: f64,
+) -> (usize, f64) {
+    match cfg.branching {
+        Branching::MostFractional => (mf_var, mf_frac),
+        Branching::PseudoCost => {
+            let mut best = (mf_var, mf_frac, -1.0f64);
+            for &j in int_vars {
+                let f = x[j] - x[j].floor();
+                if f <= cfg.int_tol || f >= 1.0 - cfg.int_tol {
+                    continue;
+                }
+                let s = if pc.initialized(j) {
+                    pc.score(j, f)
+                } else {
+                    // uninitialized: prefer most fractional
+                    0.25 - (f - 0.5) * (f - 0.5)
+                };
+                if s > best.2 {
+                    best = (j, f, s);
+                }
+            }
+            (best.0, best.1)
+        }
+    }
+}
+
+/// Builds the two children of a branch on `bvar` at `floor`.
+fn make_children(
+    node: &Node,
+    bvar: usize,
+    floor: f64,
+    bound: f64,
+    warm: Arc<Vec<VStat>>,
+) -> (Node, Node) {
+    let down_child = Node {
+        changes: {
+            let mut ch = node.changes.clone();
+            ch.push((bvar, f64::NEG_INFINITY, floor));
+            ch
+        },
+        bound,
+        depth: node.depth + 1,
+        warm: Some(Arc::clone(&warm)),
+    };
+    let up_child = Node {
+        changes: {
+            let mut ch = node.changes.clone();
+            ch.push((bvar, floor + 1.0, f64::INFINITY));
+            ch
+        },
+        bound,
+        depth: node.depth + 1,
+        warm: Some(warm),
+    };
+    (down_child, up_child)
+}
+
+const INF_BITS: u64 = f64::INFINITY.to_bits();
+
+/// State shared by the parallel search workers.
+struct ParShared {
+    /// Open nodes, best bound on top.
+    heap: Mutex<BinaryHeap<HeapNode>>,
+    /// Workers currently processing a node (or a plunge chain). The tree is
+    /// exhausted exactly when the heap is empty and nobody is active.
+    active: AtomicUsize,
+    /// Per-worker bound of the node being processed (f64 bits; ∞ = idle).
+    /// The global open bound is min(heap top, these slots).
+    slots: Vec<AtomicU64>,
+    /// Incumbent objective as f64 bits (∞ = none), for lock-free pruning.
+    inc_bound: AtomicU64,
+    /// Incumbent vector; `inc_bound` is only written while holding this.
+    inc_full: Mutex<Option<(f64, Vec<f64>)>>,
+    /// All workers drain and exit (gap reached, limit hit, or unbounded).
+    stop: AtomicBool,
+    hit_limit: AtomicBool,
+    unbounded: AtomicBool,
+    nodes: AtomicUsize,
+    lp_solves: AtomicUsize,
+    simplex_iters: AtomicUsize,
+    heuristic_solutions: AtomicUsize,
+}
+
+impl ParShared {
+    fn incumbent_bound(&self) -> f64 {
+        f64::from_bits(self.inc_bound.load(AtomicOrdering::SeqCst))
+    }
+
+    /// Installs a new incumbent if it improves; returns whether it did.
+    fn offer_incumbent(&self, obj: f64, x: Vec<f64>) -> bool {
+        let mut guard = self.inc_full.lock().unwrap();
+        let improves = guard.as_ref().is_none_or(|(o, _)| obj < *o);
+        if improves {
+            *guard = Some((obj, x));
+            self.inc_bound.store(obj.to_bits(), AtomicOrdering::SeqCst);
+        }
+        improves
+    }
+
+    /// Pushes an unprocessed node back (worker exiting mid-node).
+    fn park_node(&self, node: Node) {
+        self.heap.lock().unwrap().push(HeapNode(node));
+    }
+
+    /// Marks worker `id` idle after it finished (or parked) a node.
+    fn release(&self, id: usize) {
+        self.slots[id].store(INF_BITS, AtomicOrdering::SeqCst);
+        self.active.fetch_sub(1, AtomicOrdering::SeqCst);
+    }
+}
+
+/// Multi-threaded best-bound search over the shared node pool.
+fn search_parallel(
+    ctx: &SearchCtx<'_>,
+    nthreads: usize,
+    root_node: Node,
+    incumbent: Option<(f64, Vec<f64>)>,
+    stats: &mut Stats,
+) -> SearchOutcome {
+    let shared = ParShared {
+        heap: Mutex::new(BinaryHeap::new()),
+        active: AtomicUsize::new(0),
+        slots: (0..nthreads).map(|_| AtomicU64::new(INF_BITS)).collect(),
+        inc_bound: AtomicU64::new(
+            incumbent.as_ref().map_or(INF_BITS, |(o, _)| o.to_bits()),
+        ),
+        inc_full: Mutex::new(incumbent),
+        stop: AtomicBool::new(false),
+        hit_limit: AtomicBool::new(false),
+        unbounded: AtomicBool::new(false),
+        nodes: AtomicUsize::new(stats.nodes),
+        lp_solves: AtomicUsize::new(0),
+        simplex_iters: AtomicUsize::new(0),
+        heuristic_solutions: AtomicUsize::new(0),
+    };
+    shared.heap.lock().unwrap().push(HeapNode(root_node));
+
+    std::thread::scope(|s| {
+        for id in 0..nthreads {
+            let shared = &shared;
+            s.spawn(move || worker(ctx, shared, id));
+        }
+    });
+
+    stats.nodes = shared.nodes.load(AtomicOrdering::SeqCst);
+    stats.lp_solves += shared.lp_solves.load(AtomicOrdering::SeqCst);
+    stats.simplex_iters += shared.simplex_iters.load(AtomicOrdering::SeqCst);
+    stats.heuristic_solutions += shared.heuristic_solutions.load(AtomicOrdering::SeqCst);
+    let heap = shared.heap.into_inner().unwrap();
+    SearchOutcome {
+        incumbent: shared.inc_full.into_inner().unwrap(),
+        open_bound: heap.peek().map_or(f64::INFINITY, |h| h.0.bound),
+        hit_limit: shared.hit_limit.load(AtomicOrdering::SeqCst),
+        unbounded: shared.unbounded.load(AtomicOrdering::SeqCst),
+    }
+}
+
+/// Pops the best open node, waiting while other workers may still produce
+/// children. Returns `None` when the search is over (stop flag, gap
+/// reached, or tree exhausted). On `Some`, the worker is marked active and
+/// its slot carries the node bound.
+fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> {
+    let cfg = ctx.cfg;
+    loop {
+        if shared.stop.load(AtomicOrdering::SeqCst) {
+            return None;
+        }
+        {
+            let mut heap = shared.heap.lock().unwrap();
+            // Gap-based termination against the global open bound.
+            let heap_min = heap.peek().map_or(f64::INFINITY, |h| h.0.bound);
+            let slot_min = shared
+                .slots
+                .iter()
+                .map(|s| f64::from_bits(s.load(AtomicOrdering::SeqCst)))
+                .fold(f64::INFINITY, f64::min);
+            let open_bound = heap_min.min(slot_min);
+            let inc_obj = shared.incumbent_bound();
+            if inc_obj.is_finite() {
+                let gap = inc_obj - open_bound;
+                if gap <= cfg.abs_gap || gap <= cfg.rel_gap * inc_obj.abs().max(1e-10) {
+                    shared.stop.store(true, AtomicOrdering::SeqCst);
+                    return None;
+                }
+            }
+            if let Some(HeapNode(nd)) = heap.pop() {
+                shared.active.fetch_add(1, AtomicOrdering::SeqCst);
+                shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
+                return Some(nd);
+            }
+            if shared.active.load(AtomicOrdering::SeqCst) == 0 {
+                return None; // tree exhausted
             }
         }
-        None => {
-            if hit_limit {
-                Solution {
-                    status: Status::LimitNoSolution,
-                    objective: f64::INFINITY,
-                    best_bound: user_obj(open_bound),
-                    values: Vec::new(),
-                    stats,
+        // Heap empty but peers are still expanding: wait for children.
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+/// One parallel search worker: pops best-bound nodes, solves their LP
+/// relaxations with a private simplex instance, publishes incumbents, and
+/// plunges locally like the sequential loop.
+fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
+    let cfg = ctx.cfg;
+    let mut pc = PseudoCosts::new(ctx.root_lb.len());
+    let mut lb_buf = ctx.root_lb.to_vec();
+    let mut ub_buf = ctx.root_ub.to_vec();
+    let mut plunge_next: Option<Node> = None;
+
+    loop {
+        let node = match plunge_next.take() {
+            Some(nd) => {
+                if shared.stop.load(AtomicOrdering::SeqCst) {
+                    shared.park_node(nd);
+                    shared.release(id);
+                    break;
                 }
-            } else {
-                Solution::infeasible(stats)
+                shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
+                nd
+            }
+            None => match pop_next(ctx, shared, id) {
+                Some(nd) => nd,
+                None => break, // idle worker: nothing to release
+            },
+        };
+
+        // Prune against the freshest incumbent.
+        if node.bound >= shared.incumbent_bound() - cfg.abs_gap {
+            shared.release(id);
+            continue;
+        }
+        // Limits.
+        if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.hit_limit.store(true, AtomicOrdering::SeqCst);
+            shared.stop.store(true, AtomicOrdering::SeqCst);
+            shared.park_node(node);
+            shared.release(id);
+            break;
+        }
+        if let Some(nl) = cfg.node_limit {
+            if shared.nodes.load(AtomicOrdering::SeqCst) >= nl {
+                shared.hit_limit.store(true, AtomicOrdering::SeqCst);
+                shared.stop.store(true, AtomicOrdering::SeqCst);
+                shared.park_node(node);
+                shared.release(id);
+                break;
+            }
+        }
+        let node_idx = shared.nodes.fetch_add(1, AtomicOrdering::SeqCst) + 1;
+
+        // Reconstruct bounds.
+        lb_buf.copy_from_slice(ctx.root_lb);
+        ub_buf.copy_from_slice(ctx.root_ub);
+        for &(j, lo, hi) in &node.changes {
+            lb_buf[j] = lb_buf[j].max(lo);
+            ub_buf[j] = ub_buf[j].min(hi);
+        }
+
+        shared.lp_solves.fetch_add(1, AtomicOrdering::SeqCst);
+        let r = solve_lp(
+            ctx.lp,
+            &lb_buf,
+            &ub_buf,
+            cfg,
+            node.warm.as_deref().map(|v| &v[..]),
+            ctx.deadline,
+        );
+        shared
+            .simplex_iters
+            .fetch_add(r.iters, AtomicOrdering::SeqCst);
+        match r.status {
+            LpStatus::Infeasible => {
+                shared.release(id);
+                continue;
+            }
+            LpStatus::Unbounded => {
+                shared.unbounded.store(true, AtomicOrdering::SeqCst);
+                shared.stop.store(true, AtomicOrdering::SeqCst);
+                shared.release(id);
+                break;
+            }
+            LpStatus::Limit => {
+                shared.hit_limit.store(true, AtomicOrdering::SeqCst);
+                shared.stop.store(true, AtomicOrdering::SeqCst);
+                shared.park_node(node);
+                shared.release(id);
+                break;
+            }
+            LpStatus::Optimal => {}
+        }
+        if r.obj >= shared.incumbent_bound() - cfg.abs_gap {
+            shared.release(id);
+            continue; // bound-dominated
+        }
+
+        match most_fractional(&r.x, ctx.int_vars, cfg.int_tol) {
+            None => {
+                // Integral: offer as incumbent.
+                let mut x = r.x.clone();
+                for &j in ctx.int_vars {
+                    x[j] = x[j].round();
+                }
+                let obj = ctx.lp.c.iter().zip(&x).map(|(cc, v)| cc * v).sum::<f64>();
+                if shared.offer_incumbent(obj, x) && cfg.verbose {
+                    eprintln!(
+                        "[milp] node {:>6} (worker {}): incumbent {:.6}",
+                        node_idx,
+                        id,
+                        ctx.user_obj(obj)
+                    );
+                }
+                shared.release(id);
+                continue;
+            }
+            Some((mf_var, mf_frac)) => {
+                let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
+                let xval = r.x[bvar];
+                let floor = xval.floor();
+                let warm = Arc::new(r.statuses);
+                let have_inc = shared.incumbent_bound().is_finite();
+                let dive_period = if have_inc { 64 } else { 16 };
+                if cfg.heuristics && node_idx % dive_period == 1 && node_idx > 1 {
+                    let strategies: &[heur::DiveStrategy] = if have_inc {
+                        &[heur::DiveStrategy::NearestInteger]
+                    } else {
+                        &[
+                            heur::DiveStrategy::NearestInteger,
+                            heur::DiveStrategy::MostFractionalUp,
+                        ]
+                    };
+                    for &strategy in strategies {
+                        let Some(dd) = dive_window(ctx.deadline, 3.0) else {
+                            break;
+                        };
+                        if let Some((obj, x)) = heur::dive_with(
+                            strategy,
+                            ctx.reduced,
+                            ctx.lp,
+                            ctx.int_vars,
+                            &lb_buf,
+                            &ub_buf,
+                            cfg,
+                            Some(&warm),
+                            Some(dd),
+                        ) {
+                            if shared.offer_incumbent(obj, x) {
+                                shared
+                                    .heuristic_solutions
+                                    .fetch_add(1, AtomicOrdering::SeqCst);
+                            }
+                        }
+                    }
+                }
+                let (down_child, up_child) = make_children(&node, bvar, floor, r.obj, warm);
+                let parent_frac_gain = (r.obj - node.bound).max(0.0);
+                if let Some(&(pvar, plo, _phi)) = node.changes.last() {
+                    let went_up = plo.is_finite();
+                    pc.record(pvar, went_up, parent_frac_gain.max(1e-9));
+                }
+                match cfg.node_selection {
+                    NodeSelection::BestBound => {
+                        let mut heap = shared.heap.lock().unwrap();
+                        heap.push(HeapNode(down_child));
+                        heap.push(HeapNode(up_child));
+                        drop(heap);
+                        shared.release(id);
+                    }
+                    NodeSelection::BestBoundPlunge | NodeSelection::DepthFirst => {
+                        // plunge into the child nearer the LP value; the
+                        // sibling goes to the shared pool for any worker
+                        let frac = xval - floor;
+                        let (keep, push) = if frac < 0.5 {
+                            (down_child, up_child)
+                        } else {
+                            (up_child, down_child)
+                        };
+                        shared.heap.lock().unwrap().push(HeapNode(push));
+                        plunge_next = Some(keep);
+                        // stays active; the slot is refreshed at loop top
+                    }
+                }
             }
         }
     }
@@ -642,5 +1099,73 @@ mod tests {
         let s = solve_milp(&p, &cfg(), Instant::now());
         assert_eq!(s.status(), Status::Optimal);
         assert!((s.objective() - 101.0).abs() < 1e-6, "obj {}", s.objective());
+    }
+
+    /// Builds a moderately hard knapsack-style MILP for the thread tests.
+    fn hard_knapsack(n: usize) -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let mut row = Row::new().le((2 * n) as f64 * 0.6);
+        for i in 0..n {
+            let v = p.add_var(Var::binary().obj(1.0 + ((i * 31) % 11) as f64 / 3.0));
+            row = row.coef(v, 1.0 + ((i * 17) % 7) as f64 / 2.0);
+        }
+        p.add_row(row);
+        p
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_objective() {
+        for n in [10usize, 16, 22] {
+            let p = hard_knapsack(n);
+            let seq = solve_milp(&p, &cfg(), Instant::now());
+            assert_eq!(seq.status(), Status::Optimal);
+            for threads in [2usize, 4, 8] {
+                let c = cfg().with_threads(threads);
+                let par = solve_milp(&p, &c, Instant::now());
+                assert_eq!(par.status(), Status::Optimal, "threads = {threads}");
+                assert!(
+                    (par.objective() - seq.objective()).abs() < 1e-6,
+                    "threads {}: {} vs {}",
+                    threads,
+                    par.objective(),
+                    seq.objective()
+                );
+                // the reported vector must itself be feasible and integral
+                assert!(p.check_feasible(par.values(), 1e-6).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_infeasible_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(Var::binary().obj(1.0));
+        let y = p.add_var(Var::binary().obj(1.0));
+        p.add_row(Row::new().coef(x, 1.0).coef(y, 1.0).ge(3.0));
+        let s = solve_milp(&p, &cfg().with_threads(4), Instant::now());
+        assert_eq!(s.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn parallel_respects_node_limit() {
+        let p = hard_knapsack(12);
+        let mut c = cfg().with_node_limit(1).with_heuristics(false).with_threads(4);
+        c.presolve = false;
+        let s = solve_milp(&p, &c, Instant::now());
+        assert!(matches!(
+            s.status(),
+            Status::LimitFeasible | Status::LimitNoSolution | Status::Optimal
+        ));
+    }
+
+    #[test]
+    fn parallel_pure_best_bound_selection() {
+        let p = hard_knapsack(14);
+        let mut c = cfg().with_threads(3);
+        c.node_selection = NodeSelection::BestBound;
+        let s = solve_milp(&p, &c, Instant::now());
+        let seq = solve_milp(&p, &cfg(), Instant::now());
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - seq.objective()).abs() < 1e-6);
     }
 }

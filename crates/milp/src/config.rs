@@ -74,6 +74,12 @@ pub struct Config {
     pub verbose: bool,
     /// Random seed for tie-breaking perturbations.
     pub seed: u64,
+    /// Number of branch-and-bound worker threads. `0` (the default) uses
+    /// [`std::thread::available_parallelism`]; `1` runs the original
+    /// single-threaded search. The optimal objective is the same at any
+    /// thread count (within the gap tolerances); node counts and timings
+    /// vary with scheduling.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -94,6 +100,7 @@ impl Default for Config {
             heuristics: true,
             verbose: false,
             seed: 0x5eed,
+            threads: 0,
         }
     }
 }
@@ -139,6 +146,23 @@ impl Config {
         self.verbose = on;
         self
     }
+
+    /// Sets the number of search worker threads (`0` = auto-detect).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Resolves [`Config::threads`] to a concrete worker count: `0` maps to
+    /// the machine's available parallelism (or `1` if that is unknown).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +184,13 @@ mod tests {
         assert!(!cfg.presolve);
         assert!(!cfg.heuristics);
         assert!(cfg.verbose);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Config::new().with_threads(4).effective_threads(), 4);
+        assert_eq!(Config::new().with_threads(1).effective_threads(), 1);
+        // auto-detect resolves to at least one worker
+        assert!(Config::new().effective_threads() >= 1);
     }
 }

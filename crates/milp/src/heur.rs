@@ -96,7 +96,7 @@ pub fn dive_with(
                     // smaller = larger fractional part (prefer pushing up)
                     DiveStrategy::MostFractionalUp => -(r.x[j] - r.x[j].floor()),
                 };
-                if pick.map_or(true, |(_, s)| score < s) {
+                if pick.is_none_or(|(_, s)| score < s) {
                     pick = Some((j, score));
                 }
             }

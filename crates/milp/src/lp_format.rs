@@ -164,6 +164,8 @@ impl std::error::Error for ParseLpError {}
 ///
 /// Returns [`ParseLpError`] with the offending line for malformed input.
 pub fn parse_lp_string(text: &str) -> Result<Problem, ParseLpError> {
+    /// Accumulated row: coefficient list plus `[lb, ub]` range.
+    type RawRow = (Vec<(usize, f64)>, f64, f64);
     #[derive(PartialEq, Clone, Copy)]
     enum Section {
         Preamble,
@@ -179,7 +181,7 @@ pub fn parse_lp_string(text: &str) -> Result<Problem, ParseLpError> {
     let mut var_ids: std::collections::HashMap<String, usize> = Default::default();
     let mut var_names: Vec<String> = Vec::new();
     let mut obj: Vec<(usize, f64)> = Vec::new();
-    let mut rows: Vec<(Vec<(usize, f64)>, f64, f64)> = Vec::new();
+    let mut rows: Vec<RawRow> = Vec::new();
     let mut bounds: std::collections::HashMap<usize, (f64, f64)> = Default::default();
     let mut generals: Vec<usize> = Vec::new();
     let mut binaries: Vec<usize> = Vec::new();
@@ -303,12 +305,8 @@ pub fn parse_lp_string(text: &str) -> Result<Problem, ParseLpError> {
                 }
                 continue;
             }
-            // lone '=' that is not <= or >=
-            if t == "=" || t == "<" || t == ">" {
-                tokens.push(t.to_string());
-            } else {
-                tokens.push(t.to_string());
-            }
+            // remaining tokens (including lone '=', '<', '>') pass through
+            tokens.push(t.to_string());
         }
         let toks: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
         match section {

@@ -348,8 +348,8 @@ pub fn presolve(problem: &Problem, minimize: bool) -> Presolved {
                 appears[j] = true;
             }
         }
-        for j in 0..n {
-            if w.removed_var[j] || appears[j] {
+        for (j, &in_some_row) in appears.iter().enumerate() {
+            if w.removed_var[j] || in_some_row {
                 continue;
             }
             let c = w.obj[j];

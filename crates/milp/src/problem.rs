@@ -275,6 +275,13 @@ pub struct Problem {
     obj_offset: f64,
 }
 
+// Parallel branch and bound shares the presolved `Problem` across worker
+// threads (heuristics read it concurrently).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Problem>();
+};
+
 impl Problem {
     /// Creates an empty problem with the given optimization sense.
     pub fn new(sense: Sense) -> Self {

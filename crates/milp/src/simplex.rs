@@ -78,6 +78,12 @@ pub struct LpData {
     pub row_ub: Vec<f64>,
 }
 
+// Parallel branch and bound shares one `LpData` across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LpData>();
+};
+
 impl LpData {
     /// Number of structural variables.
     pub fn num_vars(&self) -> usize {
@@ -142,7 +148,7 @@ impl<'a> Engine<'a> {
         ub.extend_from_slice(&lp.row_ub);
         let mut cost = Vec::with_capacity(nn);
         cost.extend_from_slice(&lp.c);
-        cost.extend(std::iter::repeat(0.0).take(m));
+        cost.extend(std::iter::repeat_n(0.0, m));
         Engine {
             lp,
             lb,
@@ -366,7 +372,7 @@ impl<'a> Engine<'a> {
                     return Pricing::Entering { j, dir };
                 }
                 let score = d.abs();
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((j, dir, score));
                 }
             }
@@ -419,7 +425,7 @@ impl<'a> Engine<'a> {
             let t_i = ((limit - xv) / delta).max(0.0);
             let score = if bland { -(bj as f64) } else { wi.abs() };
             let better = t_i < t_best - 1e-12
-                || (t_i < t_best + 1e-12 && leave.map_or(true, |(_, _, s)| score > s));
+                || (t_i < t_best + 1e-12 && leave.is_none_or(|(_, _, s)| score > s));
             if better {
                 t_best = t_i;
                 leave = Some((i, to_upper, score));
@@ -469,10 +475,10 @@ impl<'a> Engine<'a> {
                     return LpStatus::Limit;
                 }
             }
-            if self.iters % 64 == 0 && self.out_of_time() {
+            if self.iters.is_multiple_of(64) && self.out_of_time() {
                 return LpStatus::Limit;
             }
-            if self.cfg.verbose && self.iters > 0 && self.iters % 50_000 == 0 {
+            if self.cfg.verbose && self.iters > 0 && self.iters.is_multiple_of(50_000) {
                 eprintln!(
                     "[simplex] iter {} phase{} obj {:.6} infeas {:.3e} degen_run {}",
                     self.iters,
@@ -651,7 +657,10 @@ mod tests {
     use super::*;
     use crate::sparse::TripletBuilder;
 
-    fn lp(rows: &[(&[(usize, f64)], f64, f64)], nvars: usize, c: &[f64]) -> LpData {
+    /// Test row: sparse coefficients plus `[lb, ub]` range.
+    type TestRow<'a> = (&'a [(usize, f64)], f64, f64);
+
+    fn lp(rows: &[TestRow], nvars: usize, c: &[f64]) -> LpData {
         let mut b = TripletBuilder::new(rows.len(), nvars);
         let mut row_lb = Vec::new();
         let mut row_ub = Vec::new();

@@ -122,8 +122,7 @@ impl CscMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         let mut y = vec![0.0; self.nrows];
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj != 0.0 {
                 self.axpy_col(j, xj, &mut y);
             }
@@ -243,7 +242,7 @@ impl TripletBuilder {
     pub fn build(mut self) -> CscMatrix {
         // Sort by (col, row) then merge runs.
         self.entries
-            .sort_unstable_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+            .sort_unstable_by_key(|a| (a.1, a.0));
         let mut col_ptr = vec![0usize; self.ncols + 1];
         let mut row_idx = Vec::with_capacity(self.entries.len());
         let mut values = Vec::with_capacity(self.entries.len());

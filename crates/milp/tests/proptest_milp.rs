@@ -143,6 +143,25 @@ proptest! {
             prop_assert!((on.objective() - off.objective()).abs() < 1e-5);
         }
     }
+
+    #[test]
+    fn thread_count_does_not_change_the_optimum(inst in binary_instance()) {
+        let (p, _) = build(&inst);
+        let opt = enumerate(&inst);
+        for threads in [1usize, 2, 4] {
+            let sol = Solver::new(Config::default().with_threads(threads)).solve(&p);
+            match opt {
+                None => prop_assert_eq!(sol.status(), Status::Infeasible),
+                Some(opt) => {
+                    prop_assert_eq!(sol.status(), Status::Optimal);
+                    prop_assert!((sol.objective() - opt).abs() < 1e-6,
+                        "threads {}: solver {} vs enumeration {}",
+                        threads, sol.objective(), opt);
+                    prop_assert!(p.check_feasible(sol.values(), 1e-5).is_none());
+                }
+            }
+        }
+    }
 }
 
 /// Small general-integer instances (bounds 0..=3) against enumeration.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+#
+#   1. release build of the whole workspace
+#   2. the root package test suite (fast determinism + integration tests)
+#   3. clippy on every target with warnings promoted to errors
+#
+# Run from the repository root:  ./scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q =="
+cargo test -q
+
+echo "== tier1: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier1: OK"

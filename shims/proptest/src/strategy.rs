@@ -1,0 +1,404 @@
+//! Value-generation strategies: the generator core of the shim.
+
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+use rand::prelude::*;
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply produces a value from the given RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps a non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Samples the full domain of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// See [`Arbitrary`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident => $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9);
+
+/// `&str` regex strategies. Supports the subset of regex syntax the
+/// workspace's tests use: literal chars, `.`, escapes (`\n`, `\t`,
+/// `\\`, `\d`), character classes with ranges, and the quantifiers
+/// `{m,n}`, `{n}`, `{m,}`, `*`, `+`, `?` (unbounded repeats capped at
+/// 32 extra items).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, min, max) in &atoms {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+const PRINTABLE: RangeInclusive<char> = ' '..='~';
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices: Vec<char> = match c {
+            '[' => parse_class(&mut chars),
+            '.' => PRINTABLE.collect(),
+            '\\' => vec![unescape(chars.next().expect("dangling escape"))],
+            '*' | '+' | '?' | '{' => {
+                // quantifier without a preceding atom is malformed
+                panic!("unsupported regex pattern: {pat:?}");
+            }
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push((choices, min, max));
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars<'_>>) -> Vec<char> {
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("range start");
+                let hi = match chars.next().expect("range end") {
+                    '\\' => unescape(chars.next().expect("dangling escape")),
+                    h => h,
+                };
+                members.extend(lo..=hi);
+            }
+            '\\' => {
+                members.extend(pending.take());
+                pending = Some(unescape(chars.next().expect("dangling escape")));
+            }
+            other => {
+                members.extend(pending.take());
+                pending = Some(other);
+            }
+        }
+    }
+    members.extend(pending);
+    assert!(!members.is_empty(), "empty character class");
+    members
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_quantifier(chars: &mut core::iter::Peekable<core::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 32)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 33)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                None => {
+                    let n: usize = body.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min: usize = lo.trim().parse().expect("bad {m,n} quantifier");
+                    let max: usize = if hi.trim().is_empty() {
+                        min + 32
+                    } else {
+                        hi.trim().parse().expect("bad {m,n} quantifier")
+                    };
+                    (min, max)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = rng_for("strategy::tests", 0);
+        let s = (2usize..=8, -5.0..5.0f64, 0..3);
+        for _ in 0..500 {
+            let (n, f, k) = s.generate(&mut rng);
+            assert!((2..=8).contains(&n));
+            assert!((-5.0..5.0).contains(&f));
+            assert!((0..3).contains(&k));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_compose() {
+        let mut rng = rng_for("strategy::tests::map", 0);
+        let s = (1usize..=4).prop_flat_map(|n| {
+            crate::collection::vec(0.0..1.0f64, n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..200 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let mut rng = rng_for("strategy::tests::oneof", 0);
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = rng_for("strategy::tests::re", 0);
+        for _ in 0..100 {
+            let s = "[ -~\n]{0,300}".generate(&mut rng);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let t = "ab[0-9]{2}c?".generate(&mut rng);
+            assert!(t.starts_with("ab"));
+            let digits: String = t[2..4].to_string();
+            assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `StdRng::seed_from_u64`, `gen_range` over integer/float ranges,
+//! and `gen_bool`. The build environment has no registry access, so the
+//! workspace vendors this tiny deterministic implementation instead of
+//! the real crate (see DESIGN.md §7). Everything is seeded explicitly in
+//! this codebase, so no OS entropy source is needed.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive, ints or floats).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Deterministic seeding interface.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard RNG: SplitMix64. Statistically fine for test
+/// data and instance generation; not cryptographic.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // one warm-up step decorrelates small consecutive seeds
+        let mut rng = StdRng { state: seed };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Uniform f64 in [0, 1) from 53 random mantissa bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can produce a uniform sample; mirrors `rand::distributions::
+/// uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SampleRange, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-3..9);
+            assert!((-3..9).contains(&v));
+            let u: usize = rng.gen_range(2..=5);
+            assert!((2..=5).contains(&u));
+            let f: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}
