@@ -1,0 +1,78 @@
+//! **Ladder** — exercises the graceful-degradation ladder
+//! (`archex::explore_resilient`) on a workload whose first rung is too
+//! coarse: `K* = 1` proposes only the direct sensor-to-sink link, the SNR
+//! floor rejects it, and the ladder escalates until the relay detour
+//! becomes expressible.
+//!
+//! Prints one row per attempt and writes `BENCH_ladder.json`. Environment
+//! knobs: `LAD_BUDGET` (seconds, default 60), `LAD_K0` (starting K*,
+//! default 1), `LAD_SNR` (floor in dB, default 36).
+
+use archex::explore::{explore_resilient, LadderOptions};
+use archex::template::{NetworkTemplate, NodeRole};
+use archex::{ExploreOptions, Requirements, Table};
+use bench::json::write_ladder_json;
+use bench::util::{env_f64, env_time_limit, env_usize};
+use channel::LogDistance;
+use devlib::catalog;
+use floorplan::Point;
+use std::path::Path;
+
+fn main() {
+    let budget = env_time_limit("LAD_BUDGET", 60);
+    let k0 = env_usize("LAD_K0", 1);
+    let snr = env_f64("LAD_SNR", 36.0);
+
+    // The detour instance: a 30 m direct hop that misses the floor and a
+    // pair of 15 m relay hops that clear it.
+    let mut t = NetworkTemplate::new();
+    t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+    t.add_node("r0", Point::new(15.0, 0.0), NodeRole::Relay);
+    t.add_node("r1", Point::new(15.0, 8.0), NodeRole::Relay);
+    t.add_node("sink", Point::new(30.0, 0.0), NodeRole::Sink);
+    t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+    let lib = catalog::zigbee_reference();
+    t.prune_links(&lib, -100.0, 10.0);
+
+    let spec = format!(
+        "p = has_path(sensors, sink)\nmin_signal_to_noise({snr})\nobjective minimize cost"
+    );
+    let req = Requirements::from_spec_text(&spec).expect("spec is well-formed");
+
+    println!(
+        "Degradation ladder (start K* = {k0}, SNR floor = {snr} dB, budget = {budget:?})\n"
+    );
+    let ladder = LadderOptions::new(ExploreOptions::approx(k0)).with_budget(budget);
+    let report = explore_resilient(&t, &lib, &req, &ladder);
+
+    let mut table = Table::new(
+        "Ladder: attempts until a feasible design",
+        &["#", "Mode", "Outcome", "Objective", "Time (s)"],
+    );
+    for (i, a) in report.attempts.iter().enumerate() {
+        let trace = bench::json::AttemptTrace::from_attempt(a);
+        table.row(&[
+            (i + 1).to_string(),
+            trace.mode.clone(),
+            trace.outcome.clone(),
+            trace
+                .objective
+                .map_or("-".to_string(), |o| format!("{o:.1}")),
+            format!("{:.3}", trace.wall_s),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "\nfinal: {:?}  best objective: {:?}  total {:.3}s  budget_exhausted: {}",
+        report.final_status,
+        report.best_objective(),
+        report.total_time.as_secs_f64(),
+        report.budget_exhausted
+    );
+
+    let out = Path::new("BENCH_ladder.json");
+    match write_ladder_json(out, "ladder", &report) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+}

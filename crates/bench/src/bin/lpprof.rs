@@ -48,7 +48,7 @@ fn main() {
     let ub: Vec<f64> = (0..n).map(|j| reduced.var_bounds(reduced.var_id(j)).1).collect();
     let cfg = Config::default();
     let t1 = Instant::now();
-    let r = solve_lp(&lp, &lb, &ub, &cfg, None, None);
+    let r = solve_lp(&lp, &lb, &ub, &cfg, None, None).expect("root LP solves");
     println!(
         "root LP: {:?}  status {:?} obj {:.3} iters {}",
         t1.elapsed(),
@@ -66,7 +66,7 @@ fn main() {
     if let Some(j) = frac {
         ub2[j] = r.x[j].floor();
         let t2 = Instant::now();
-        let r2 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None);
+        let r2 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None).expect("warm LP solves");
         println!(
             "warm child LP (down-branch x{}): {:?}  status {:?} iters {}",
             j,
@@ -77,7 +77,7 @@ fn main() {
         lb2[j] = r.x[j].ceil();
         ub2[j] = ub[j];
         let t3 = Instant::now();
-        let r3 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None);
+        let r3 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None).expect("warm LP solves");
         println!(
             "warm child LP (up-branch x{}): {:?}  status {:?} iters {}",
             j,
@@ -89,7 +89,7 @@ fn main() {
         let t4 = Instant::now();
         let mut iters = 0usize;
         for _ in 0..20 {
-            let rr = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None);
+            let rr = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None).expect("warm LP solves");
             iters += rr.iters;
         }
         println!(

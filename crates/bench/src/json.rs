@@ -67,6 +67,97 @@ impl SolverRecord {
     }
 }
 
+/// One rung of a graceful-degradation ladder run (`BENCH_ladder.json`).
+#[derive(Debug, Clone)]
+pub struct AttemptTrace {
+    /// Encoding mode of the attempt (`"approx(k)"` or `"full"`).
+    pub mode: String,
+    /// Solver status, or the encode error for attempts that never solved.
+    pub outcome: String,
+    /// Objective of the attempt's design, when one exists.
+    pub objective: Option<f64>,
+    /// Wall-clock seconds this attempt consumed (encode + solve).
+    pub wall_s: f64,
+    /// Branch-and-bound nodes of the attempt.
+    pub nodes: usize,
+}
+
+impl AttemptTrace {
+    /// Builds a trace row from a core-level ladder attempt.
+    pub fn from_attempt(a: &archex::Attempt) -> Self {
+        let mode = match a.mode {
+            archex::EncodeMode::Approx { kstar } => format!("approx({kstar})"),
+            archex::EncodeMode::Full => "full".to_string(),
+        };
+        let outcome = match (&a.status, &a.error) {
+            (Some(s), _) => format!("{s:?}"),
+            (None, Some(e)) => format!("encode error: {e}"),
+            (None, None) => "unknown".to_string(),
+        };
+        AttemptTrace {
+            mode,
+            outcome,
+            objective: a.objective,
+            wall_s: a.elapsed.as_secs_f64(),
+            nodes: a.stats.bb_nodes,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"outcome\":\"{}\",\"objective\":{},\"wall_s\":{},\"nodes\":{}}}",
+            self.mode,
+            self.outcome.replace('"', "'"),
+            self.objective.map_or("null".to_string(), json_f64),
+            json_f64(self.wall_s),
+            self.nodes,
+        )
+    }
+}
+
+/// Writes a ladder run (`archex::ExploreReport`) as `BENCH_ladder.json`:
+/// one entry per attempt plus the overall outcome.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_ladder_json(
+    path: &Path,
+    bench: &str,
+    report: &archex::ExploreReport,
+) -> std::io::Result<()> {
+    let traces: Vec<AttemptTrace> = report.attempts.iter().map(AttemptTrace::from_attempt).collect();
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"{bench}\",")?;
+    writeln!(
+        f,
+        "  \"final_status\": {},",
+        report
+            .final_status
+            .map_or("null".to_string(), |s| format!("\"{s:?}\""))
+    )?;
+    writeln!(
+        f,
+        "  \"best_objective\": {},",
+        report.best_objective().map_or("null".to_string(), json_f64)
+    )?;
+    writeln!(
+        f,
+        "  \"total_time_s\": {},",
+        json_f64(report.total_time.as_secs_f64())
+    )?;
+    writeln!(f, "  \"budget_exhausted\": {},", report.budget_exhausted)?;
+    writeln!(f, "  \"attempts\": [")?;
+    for (i, t) in traces.iter().enumerate() {
+        let comma = if i + 1 < traces.len() { "," } else { "" };
+        writeln!(f, "    {}{}", t.to_json(), comma)?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
 /// Writes `records` as `BENCH_solver.json`-style output to `path`. The
 /// document carries the host's available parallelism so speedup numbers
 /// can be judged against the hardware they ran on.
@@ -118,5 +209,23 @@ mod tests {
             ..r
         };
         assert!(r2.to_json().contains("\"objective\":null"));
+    }
+
+    #[test]
+    fn attempt_trace_renders_modes_and_escapes_quotes() {
+        let a = archex::Attempt {
+            mode: archex::EncodeMode::Approx { kstar: 4 },
+            status: None,
+            error: Some("no \"candidate\" paths".to_string()),
+            objective: None,
+            stats: Default::default(),
+            elapsed: std::time::Duration::from_millis(15),
+        };
+        let t = AttemptTrace::from_attempt(&a);
+        assert_eq!(t.mode, "approx(4)");
+        let s = t.to_json();
+        assert!(s.contains("encode error"));
+        assert!(!s.contains("\\\""), "quotes must be sanitized: {s}");
+        assert!(s.contains("\"objective\":null"));
     }
 }

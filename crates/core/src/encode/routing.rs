@@ -256,11 +256,28 @@ pub fn encode_approx_with_threads(
                     if i >= keys.len() {
                         break;
                     }
-                    *slots[i].lock().unwrap() = Some(compute(i));
+                    // Isolate a panicking key: the worker survives to take
+                    // the next key, and the panicked slot stays `None` for
+                    // the sequential fallback below.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(i)));
+                    if let Ok(r) = r {
+                        *slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                    }
                 });
             }
         });
-        computed.extend(slots.into_iter().map(|m| m.into_inner().unwrap()));
+        computed.extend(slots.into_iter().enumerate().map(|(i, m)| {
+            // A slot a worker never filled (it panicked) is recomputed
+            // inline; deterministic inputs mean a repeated panic would
+            // surface here on the caller's thread with full context.
+            Some(
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(|| compute(i)),
+            )
+        }));
     }
 
     // --- Phase 2: sequential model build in sorted key order ---

@@ -119,8 +119,15 @@ pub fn explore(
         encode_time,
         ..Default::default()
     };
+    // Encoding and solving share one deadline: whatever the encoder spent
+    // comes out of the solver's time budget, so `time_limit` bounds the
+    // whole call, not just the MILP phase.
+    let mut solver_cfg = opts.solver.clone();
+    if let Some(tl) = solver_cfg.time_limit {
+        solver_cfg.time_limit = Some(tl.saturating_sub(encode_time));
+    }
     let t1 = Instant::now();
-    let sol = enc.model.solve(&opts.solver);
+    let sol = enc.model.solve(&solver_cfg);
     stats.solve_time = t1.elapsed();
     stats.bb_nodes = sol.stats().nodes;
     stats.simplex_iters = sol.stats().simplex_iters;
@@ -135,6 +142,246 @@ pub fn explore(
         design,
         stats,
     })
+}
+
+/// One rung of the [`explore_resilient`] degradation ladder.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// Encoding mode this attempt ran with.
+    pub mode: EncodeMode,
+    /// Solver status (`None` when encoding itself failed).
+    pub status: Option<Status>,
+    /// Encoding error, rendered, when the attempt never reached the solver.
+    pub error: Option<String>,
+    /// Objective of this attempt's design, when it produced one.
+    pub objective: Option<f64>,
+    /// Size/timing statistics (all zero when encoding failed).
+    pub stats: ExploreStats,
+    /// Wall-clock time consumed by this attempt.
+    pub elapsed: Duration,
+}
+
+/// The full record of a resilient exploration: every attempt made, in
+/// order, plus the best design found across all of them.
+///
+/// A timeout or a too-coarse approximation never discards work already
+/// done: `design` is the best incumbent over the whole ladder, so callers
+/// always get the best-known network even when the final rung failed.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Every rung tried, in execution order.
+    pub attempts: Vec<Attempt>,
+    /// Best design across all attempts (smallest objective).
+    pub design: Option<NetworkDesign>,
+    /// Status of the attempt that produced `design`, or of the last
+    /// attempt when no design was found.
+    pub final_status: Option<Status>,
+    /// Total wall-clock time across all attempts.
+    pub total_time: Duration,
+    /// True when the ladder stopped because the shared budget ran out.
+    pub budget_exhausted: bool,
+}
+
+impl ExploreReport {
+    /// Whether any attempt produced a usable design.
+    pub fn has_design(&self) -> bool {
+        self.design.is_some()
+    }
+
+    /// Objective of the best design, if any.
+    pub fn best_objective(&self) -> Option<f64> {
+        self.design.as_ref().map(|d| d.objective)
+    }
+
+    /// Number of attempts made.
+    pub fn num_attempts(&self) -> usize {
+        self.attempts.len()
+    }
+}
+
+/// Options for [`explore_resilient`].
+#[derive(Debug, Clone)]
+pub struct LadderOptions {
+    /// First rung: mode, LQ encoding, and solver configuration. The
+    /// solver's own `time_limit` (if set) caps each individual attempt;
+    /// the shared `budget` caps the sum.
+    pub base: ExploreOptions,
+    /// Wall-clock budget shared by **all** attempts (encode + solve).
+    pub budget: Duration,
+    /// `K*` ceiling: once doubling would exceed it, the ladder falls
+    /// through to the exhaustive [`EncodeMode::Full`] encoding.
+    pub max_kstar: usize,
+    /// Hard cap on the number of attempts.
+    pub max_attempts: usize,
+}
+
+impl Default for LadderOptions {
+    fn default() -> Self {
+        LadderOptions {
+            base: ExploreOptions::default(),
+            budget: Duration::from_secs(30),
+            max_kstar: 64,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl LadderOptions {
+    /// Ladder starting from the given first-rung options.
+    pub fn new(base: ExploreOptions) -> Self {
+        LadderOptions {
+            base,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the shared wall-clock budget.
+    pub fn with_budget(mut self, d: Duration) -> Self {
+        self.budget = d;
+        self
+    }
+}
+
+/// The next rung after `mode` failed: double `K*` (clamped to the
+/// ceiling), then fall through to the exhaustive encoding, then give up.
+fn escalate(mode: EncodeMode, max_kstar: usize) -> Option<EncodeMode> {
+    match mode {
+        EncodeMode::Approx { kstar } if kstar < max_kstar => Some(EncodeMode::Approx {
+            kstar: (kstar * 2).clamp(kstar + 1, max_kstar),
+        }),
+        EncodeMode::Approx { .. } => Some(EncodeMode::Full),
+        EncodeMode::Full => None,
+    }
+}
+
+/// Whether an attempt outcome warrants climbing to a richer encoding.
+///
+/// `Infeasible` under an approximate encoding only proves the *candidate
+/// set* inadequate, not the problem: a larger `K*` (or the exact encoding)
+/// may still succeed. The same goes for a numeric failure — a different
+/// model may be better conditioned.
+fn should_escalate(status: Status) -> bool {
+    matches!(status, Status::Infeasible | Status::NumericFailure)
+}
+
+/// Graceful-degradation exploration: runs [`explore`] repeatedly under one
+/// shared wall-clock budget, escalating the encoding when an attempt fails
+/// for a reason a richer encoding can fix.
+///
+/// The ladder is `Approx{K*}` → `Approx{2K*}` → … → `Approx{max_kstar}` →
+/// `Full`. Escalation triggers on approximate-encoding infeasibility, on
+/// `NoCandidatePaths` encode errors, and on numeric failure; a proven
+/// optimum stops the ladder immediately, and a time/node limit stops it
+/// with the best incumbent so far. Unlike [`explore`], this function never
+/// returns an error: encode failures are recorded in the report.
+pub fn explore_resilient(
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+    ladder: &LadderOptions,
+) -> ExploreReport {
+    let start = Instant::now();
+    let mut report = ExploreReport {
+        attempts: Vec::new(),
+        design: None,
+        final_status: None,
+        total_time: Duration::ZERO,
+        budget_exhausted: false,
+    };
+    let mut mode = ladder.base.mode;
+    for _ in 0..ladder.max_attempts.max(1) {
+        let Some(remaining) = ladder
+            .budget
+            .checked_sub(start.elapsed())
+            .filter(|r| !r.is_zero())
+        else {
+            report.budget_exhausted = true;
+            break;
+        };
+        let mut opts = ladder.base.clone();
+        opts.mode = mode;
+        // Per-attempt limit: the base limit if any, but never more than
+        // what is left of the shared budget.
+        opts.solver.time_limit = Some(match opts.solver.time_limit {
+            Some(tl) => tl.min(remaining),
+            None => remaining,
+        });
+        let t = Instant::now();
+        match explore(template, library, req, &opts) {
+            Ok(out) => {
+                let objective = out.design.as_ref().map(|d| d.objective);
+                let status = out.status;
+                report.attempts.push(Attempt {
+                    mode,
+                    status: Some(status),
+                    error: None,
+                    objective,
+                    stats: out.stats,
+                    elapsed: t.elapsed(),
+                });
+                // Keep the best incumbent across rungs (objectives are
+                // minimized throughout the pipeline).
+                if let Some(d) = out.design {
+                    let better = report
+                        .best_objective()
+                        .is_none_or(|cur| d.objective < cur - 1e-9);
+                    if better {
+                        report.design = Some(d);
+                        report.final_status = Some(status);
+                    }
+                }
+                if status == Status::Optimal {
+                    report.final_status = Some(status);
+                    break;
+                }
+                if should_escalate(status) {
+                    match escalate(mode, ladder.max_kstar) {
+                        Some(next) => mode = next,
+                        None => {
+                            // Full encoding already failed: terminal.
+                            if report.final_status.is_none() {
+                                report.final_status = Some(status);
+                            }
+                            break;
+                        }
+                    }
+                } else {
+                    // Limit statuses: the budget (or per-attempt limit) is
+                    // the binding constraint; escalating to a *bigger*
+                    // model cannot help, so stop with the best incumbent.
+                    if report.final_status.is_none() {
+                        report.final_status = Some(status);
+                    }
+                    report.budget_exhausted = start.elapsed() >= ladder.budget;
+                    break;
+                }
+            }
+            Err(e) => {
+                let recoverable = matches!(e, EncodeError::NoCandidatePaths { .. });
+                report.attempts.push(Attempt {
+                    mode,
+                    status: None,
+                    error: Some(e.to_string()),
+                    objective: None,
+                    stats: ExploreStats::default(),
+                    elapsed: t.elapsed(),
+                });
+                // A too-small candidate set (`NoCandidatePaths`) is exactly
+                // what escalation fixes; any other encode error (unknown
+                // node, bad selector, ...) is a caller bug and terminal.
+                match escalate(mode, ladder.max_kstar).filter(|_| recoverable) {
+                    Some(next) => mode = next,
+                    None => break,
+                }
+            }
+        }
+    }
+    if report.attempts.len() >= ladder.max_attempts && report.final_status.is_none() {
+        // Ran out of rungs while still escalating.
+        report.final_status = report.attempts.last().and_then(|a| a.status);
+    }
+    report.total_time = start.elapsed();
+    report
 }
 
 /// Builds the encoding only and reports its size — used for the Table 3
@@ -251,6 +498,169 @@ mod tests {
         let out = explore(&t, &lib, &req, &ExploreOptions::approx(5)).unwrap();
         assert_eq!(out.status, Status::Infeasible);
         assert!(!out.has_design());
+    }
+
+    /// Geometry where `K* = 1` proposes only the direct (lowest total
+    /// path-loss) sensor-to-sink link, whose best achievable SNR (~33 dB at
+    /// 30 m) misses the 36 dB floor, while the two-hop relay detour
+    /// (~41 dB per 15 m hop) clears it — so the ladder must escalate.
+    fn detour_template() -> NetworkTemplate {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("r0", Point::new(15.0, 0.0), NodeRole::Relay);
+        t.add_node("sink", Point::new(30.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, 10.0);
+        t
+    }
+
+    const DETOUR_SPEC: &str =
+        "p = has_path(sensors, sink)\nmin_signal_to_noise(36)\nobjective minimize cost";
+
+    #[test]
+    fn escalate_walks_the_ladder() {
+        assert_eq!(
+            escalate(EncodeMode::Approx { kstar: 1 }, 8),
+            Some(EncodeMode::Approx { kstar: 2 })
+        );
+        assert_eq!(
+            escalate(EncodeMode::Approx { kstar: 6 }, 8),
+            Some(EncodeMode::Approx { kstar: 8 })
+        );
+        assert_eq!(
+            escalate(EncodeMode::Approx { kstar: 8 }, 8),
+            Some(EncodeMode::Full)
+        );
+        assert_eq!(escalate(EncodeMode::Full, 8), None);
+    }
+
+    #[test]
+    fn ladder_escalates_from_infeasible_kstar1() {
+        let t = detour_template();
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(DETOUR_SPEC).unwrap();
+
+        // Sanity: the first rung alone really is infeasible.
+        let first = explore(&t, &lib, &req, &ExploreOptions::approx(1)).unwrap();
+        assert_eq!(first.status, Status::Infeasible);
+
+        let ladder = LadderOptions::new(ExploreOptions::approx(1))
+            .with_budget(Duration::from_secs(60));
+        let report = explore_resilient(&t, &lib, &req, &ladder);
+        assert!(
+            report.num_attempts() >= 2,
+            "expected escalation, got {:?}",
+            report.attempts
+        );
+        assert_eq!(report.attempts[0].mode, EncodeMode::Approx { kstar: 1 });
+        assert_eq!(report.attempts[0].status, Some(Status::Infeasible));
+        assert!(report.has_design(), "ladder must end with a feasible design");
+        assert_eq!(report.final_status, Some(Status::Optimal));
+        let last = report.attempts.last().unwrap();
+        assert_eq!(last.status, Some(Status::Optimal));
+        assert_eq!(report.best_objective(), last.objective);
+        assert!(!report.budget_exhausted);
+    }
+
+    #[test]
+    fn ladder_stops_immediately_on_optimal() {
+        let t = template(4);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        let ladder = LadderOptions::new(ExploreOptions::approx(5))
+            .with_budget(Duration::from_secs(60));
+        let report = explore_resilient(&t, &lib, &req, &ladder);
+        assert_eq!(report.num_attempts(), 1);
+        assert_eq!(report.final_status, Some(Status::Optimal));
+        assert!(report.has_design());
+    }
+
+    #[test]
+    fn ladder_exhausts_rungs_on_true_infeasibility() {
+        // 80 dB is unreachable with any catalog pair: every rung up to and
+        // including the exhaustive encoding must report infeasible.
+        let t = template(2);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nmin_signal_to_noise(80)\nobjective minimize cost",
+        )
+        .unwrap();
+        let mut ladder = LadderOptions::new(ExploreOptions::approx(1))
+            .with_budget(Duration::from_secs(60));
+        ladder.max_kstar = 4;
+        let report = explore_resilient(&t, &lib, &req, &ladder);
+        assert!(!report.has_design());
+        assert_eq!(report.final_status, Some(Status::Infeasible));
+        let modes: Vec<EncodeMode> = report.attempts.iter().map(|a| a.mode).collect();
+        assert_eq!(
+            modes,
+            vec![
+                EncodeMode::Approx { kstar: 1 },
+                EncodeMode::Approx { kstar: 2 },
+                EncodeMode::Approx { kstar: 4 },
+                EncodeMode::Full,
+            ]
+        );
+    }
+
+    #[test]
+    fn ladder_escalates_past_no_candidate_paths() {
+        // Two link-disjoint routes requested but only two nodes exist: the
+        // approximate encoder fails with NoCandidatePaths at every K*, the
+        // exhaustive encoding builds and proves infeasibility at solve time.
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("sink", Point::new(15.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, 10.0);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(
+            "p = has_path(sensors, sink)\nq = has_path(sensors, sink)\n\
+             disjoint_links(p, q)\nobjective minimize cost",
+        )
+        .unwrap();
+        let mut ladder = LadderOptions::new(ExploreOptions::approx(1))
+            .with_budget(Duration::from_secs(60));
+        ladder.max_kstar = 2;
+        let report = explore_resilient(&t, &lib, &req, &ladder);
+        assert!(report.attempts.len() >= 2);
+        assert!(report.attempts[0].error.is_some());
+        assert_eq!(report.attempts.last().unwrap().mode, EncodeMode::Full);
+        assert!(!report.has_design());
+    }
+
+    #[test]
+    fn ladder_zero_budget_reports_exhaustion() {
+        let t = template(2);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        let ladder =
+            LadderOptions::new(ExploreOptions::approx(2)).with_budget(Duration::ZERO);
+        let report = explore_resilient(&t, &lib, &req, &ladder);
+        assert!(report.budget_exhausted);
+        assert_eq!(report.num_attempts(), 0);
+        assert!(!report.has_design());
+        assert_eq!(report.final_status, None);
+    }
+
+    #[test]
+    fn encode_time_charged_against_shared_limit() {
+        // A limit far below the encoding time leaves the solver a zero
+        // budget: the call must come back quickly with a limit status
+        // instead of spending the full unadjusted limit inside the solver.
+        let t = template(6);
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).unwrap();
+        let opts = ExploreOptions::approx(5).with_time_limit(Duration::from_nanos(1));
+        let out = explore(&t, &lib, &req, &opts).unwrap();
+        assert!(
+            matches!(
+                out.status,
+                Status::LimitFeasible | Status::LimitNoSolution
+            ),
+            "got {:?}",
+            out.status
+        );
     }
 
     #[test]

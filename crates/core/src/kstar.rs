@@ -110,12 +110,24 @@ pub fn search_kstar(
                 if i >= cfg.ks.len() {
                     break;
                 }
-                *slots[i].lock().unwrap() = Some(run_one(cfg.ks[i]));
+                // A panicking run must not take the whole sweep down: the
+                // worker moves on and the slot is recomputed sequentially.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_one(cfg.ks[i])
+                }));
+                if let Ok(r) = r {
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                }
             });
         }
     });
-    for slot in slots {
-        let step = slot.into_inner().unwrap().expect("every k computed")?;
+    for (i, slot) in slots.into_iter().enumerate() {
+        let step = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(|| run_one(cfg.ks[i]))?;
         match apply_stop_rules(cfg, &mut steps, &mut best, step) {
             Sweep::Continue => {}
             Sweep::Stop => break,

@@ -61,7 +61,10 @@ pub mod template;
 
 pub use design::{extract_design, verify_design, DesignNode, DesignRoute, NetworkDesign};
 pub use encode::{EncodeError, EncodeMode, Encoding};
-pub use explore::{encode_only, explore, ExploreOptions, ExploreOutcome, ExploreStats};
+pub use explore::{
+    encode_only, explore, explore_resilient, Attempt, ExploreOptions, ExploreOutcome,
+    ExploreReport, ExploreStats, LadderOptions,
+};
 pub use kstar::{best_step, search_kstar, KstarSearch, KstarStep};
 pub use report::{design_summary, design_to_svg, Table};
 pub use requirements::{Params, Protocol, Requirements};

@@ -207,4 +207,125 @@ mod tests {
         assert!(r.survives_any_link_fault());
         assert_eq!(r.link_fault_tolerance(), 1.0);
     }
+
+    /// Small fixed template: sensor 0, relays 1 and 2, sink 3. Designs are
+    /// built by hand so the expected critical sets are known exactly.
+    fn tiny_template() -> NetworkTemplate {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        t.add_node("ra", Point::new(10.0, 6.0), NodeRole::Relay);
+        t.add_node("rb", Point::new(10.0, -6.0), NodeRole::Relay);
+        t.add_node("sink", Point::new(20.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, -40.0);
+        t
+    }
+
+    fn hand_design(placed: &[usize], edges: &[(usize, usize)]) -> NetworkDesign {
+        NetworkDesign {
+            placed: placed
+                .iter()
+                .map(|&n| crate::design::DesignNode { node: n, component: 0 })
+                .collect(),
+            edges: edges.to_vec(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hand_computed_chain_is_fully_critical() {
+        // s0 -> ra -> sink: every link and the only relay are critical.
+        let t = tiny_template();
+        let d = hand_design(&[0, 1, 3], &[(0, 1), (1, 3)]);
+        let r = analyze_resilience(&d, &t);
+        assert_eq!(r.num_pairs, 1);
+        assert_eq!(r.link_faults_examined, 2);
+        assert_eq!(r.critical_links, vec![(0, 1), (1, 3)]);
+        assert_eq!(r.critical_relays, vec![1]);
+        assert_eq!(r.link_fault_tolerance(), 0.0);
+        assert!(!r.survives_any_link_fault());
+        assert!(!r.survives_any_relay_fault());
+    }
+
+    #[test]
+    fn hand_computed_diamond_has_no_critical_elements() {
+        // s0 -> {ra, rb} -> sink: any single link or relay can fail.
+        let t = tiny_template();
+        let d = hand_design(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = analyze_resilience(&d, &t);
+        assert_eq!(r.num_pairs, 1);
+        assert_eq!(r.link_faults_examined, 4);
+        assert_eq!(r.relay_faults_examined, 2);
+        assert!(r.survives_any_link_fault(), "critical: {:?}", r.critical_links);
+        assert!(r.survives_any_relay_fault());
+        assert_eq!(r.link_fault_tolerance(), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_partial_redundancy() {
+        // Redundant first hop, shared second hop: only (ra, sink) critical.
+        let t = tiny_template();
+        let d = hand_design(&[0, 1, 2, 3], &[(0, 1), (0, 2), (2, 1), (1, 3)]);
+        let r = analyze_resilience(&d, &t);
+        assert_eq!(r.critical_links, vec![(1, 3)]);
+        assert_eq!(r.critical_relays, vec![1]);
+        assert!((r.link_fault_tolerance() - 0.75).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random subgraphs of the 4-node tiny template as designs: node 0
+        /// sensor, 1-2 relays, 3 sink, arbitrary forward edge subsets.
+        fn design_strategy() -> impl Strategy<Value = NetworkDesign> {
+            let all_edges = [(0usize, 1usize), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3), (0, 3)];
+            (
+                prop::collection::vec(any::<bool>(), all_edges.len()),
+                any::<bool>(),
+                any::<bool>(),
+            )
+                .prop_map(move |(mask, ra, rb)| {
+                    let mut placed = vec![0, 3];
+                    if ra {
+                        placed.push(1);
+                    }
+                    if rb {
+                        placed.push(2);
+                    }
+                    let edges: Vec<_> = all_edges
+                        .iter()
+                        .zip(&mask)
+                        .filter(|&(&(i, j), &m)| {
+                            m && placed.contains(&i) && placed.contains(&j)
+                        })
+                        .map(|(&e, _)| e)
+                        .collect();
+                    hand_design(&placed, &edges)
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The tolerance metric is a fraction by construction and the
+            /// critical sets never leave the examined universe.
+            #[test]
+            fn tolerance_is_a_fraction(d in design_strategy()) {
+                let t = tiny_template();
+                let r = analyze_resilience(&d, &t);
+                let tol = r.link_fault_tolerance();
+                prop_assert!((0.0..=1.0).contains(&tol), "tolerance {tol}");
+                prop_assert!(r.critical_links.len() <= r.link_faults_examined);
+                prop_assert!(r.critical_relays.len() <= r.relay_faults_examined);
+                for e in &r.critical_links {
+                    prop_assert!(d.edges.contains(e));
+                }
+                // Report is deterministic for a given design.
+                let r2 = analyze_resilience(&d, &t);
+                prop_assert_eq!(r.critical_links, r2.critical_links);
+                prop_assert_eq!(r.critical_relays, r2.critical_relays);
+            }
+        }
+    }
 }

@@ -22,6 +22,7 @@
 //! count. `threads: 1` runs the original single-threaded loop unchanged.
 
 use crate::config::{Branching, Config, NodeSelection};
+use crate::error::relock;
 use crate::heur;
 use crate::presolve::{presolve, Presolved};
 use crate::problem::{Problem, Sense, VarId, VarType};
@@ -29,11 +30,15 @@ use crate::simplex::{solve_lp, LpData, LpStatus, VStat};
 use crate::solution::{Solution, Stats, Status};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One open node: bound changes relative to the root plus bookkeeping.
+/// `Clone` lets the parallel search keep an in-flight copy per worker so a
+/// panicking worker's node can be re-queued instead of lost.
+#[derive(Clone)]
 struct Node {
     /// `(var, new_lb, new_ub)` tightenings along the path from the root.
     changes: Vec<(usize, f64, f64)>,
@@ -157,6 +162,24 @@ struct SearchOutcome {
     hit_limit: bool,
     /// A node LP was unbounded (only possible if the root was; defensive).
     unbounded: bool,
+    /// Smallest bound among nodes dropped after unrecoverable LP errors
+    /// (∞ when none). Folded into the final bound so a solve that lost
+    /// subtrees never claims optimality past them.
+    dropped_bound: f64,
+}
+
+impl SearchCtx<'_> {
+    /// Whether the solve should wind down: wall-clock deadline, cooperative
+    /// cancellation, or an injected (simulated) deadline expiry.
+    fn should_stop(&self, nodes: usize) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.cfg.is_cancelled()
+            || self
+                .cfg
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.deadline_expired(nodes))
+    }
 }
 
 /// Most fractional integer variable of `x`, if any.
@@ -248,8 +271,20 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
 
     // --- Root LP ---
     stats.lp_solves += 1;
-    let root = solve_lp(&lp, &root_lb, &root_ub, cfg, None, deadline);
+    let root = match solve_lp(&lp, &root_lb, &root_ub, cfg, None, deadline) {
+        Ok(r) => r,
+        Err(e) => {
+            // Even the recovery ladder could not solve the root relaxation:
+            // there is nothing to search, so surface the failure.
+            stats.nodes = 1;
+            stats.elapsed = start.elapsed();
+            return Solution::numeric_failure(stats, e);
+        }
+    };
     stats.simplex_iters += root.iters;
+    if root.recoveries > 0 {
+        stats.lp_recoveries += 1;
+    }
     match root.status {
         LpStatus::Infeasible => {
             stats.nodes = 1;
@@ -270,6 +305,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
                 best_bound: ctx.user_obj(f64::NEG_INFINITY),
                 values: Vec::new(),
                 stats,
+                error: None,
             };
         }
         LpStatus::Optimal => {}
@@ -323,7 +359,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     };
     let nthreads = cfg.effective_threads();
     let outcome = if nthreads <= 1 || int_vars.is_empty() {
-        search_sequential(&ctx, root_node, incumbent, &mut stats)
+        search_sequential(&ctx, vec![root_node], incumbent, &mut stats)
     } else {
         search_parallel(&ctx, nthreads, root_node, incumbent, &mut stats)
     };
@@ -333,15 +369,19 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     if outcome.unbounded {
         return Solution::unbounded(stats);
     }
+    // Subtrees dropped after LP errors count as open: their bound caps the
+    // proven bound, and their loss forbids an optimality claim.
+    let open_bound = outcome.open_bound.min(outcome.dropped_bound);
+    let hit_limit = outcome.hit_limit || outcome.dropped_bound.is_finite();
     match outcome.incumbent {
         Some((obj, x)) => {
             let values = ps.postsolve(&x);
-            let bound_internal = if outcome.hit_limit || outcome.open_bound.is_finite() {
-                outcome.open_bound.min(obj)
+            let bound_internal = if hit_limit || open_bound.is_finite() {
+                open_bound.min(obj)
             } else {
                 obj
             };
-            let status = if outcome.hit_limit
+            let status = if hit_limit
                 && (obj - bound_internal > cfg.abs_gap
                     && obj - bound_internal > cfg.rel_gap * obj.abs().max(1e-10))
             {
@@ -355,16 +395,18 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
                 best_bound: ctx.user_obj(bound_internal),
                 values,
                 stats,
+                error: None,
             }
         }
         None => {
-            if outcome.hit_limit {
+            if hit_limit {
                 Solution {
                     status: Status::LimitNoSolution,
                     objective: f64::INFINITY,
-                    best_bound: ctx.user_obj(outcome.open_bound),
+                    best_bound: ctx.user_obj(open_bound),
                     values: Vec::new(),
                     stats,
+                    error: None,
                 }
             } else {
                 Solution::infeasible(stats)
@@ -374,20 +416,24 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
 }
 
 /// The original single-threaded best-bound-with-plunging loop; this is the
-/// exact `threads: 1` behavior.
+/// exact `threads: 1` behavior. Accepts multiple open roots so the parallel
+/// search can hand over its surviving node pool after worker panics.
 fn search_sequential(
     ctx: &SearchCtx<'_>,
-    root_node: Node,
+    roots: Vec<Node>,
     mut incumbent: Option<(f64, Vec<f64>)>,
     stats: &mut Stats,
 ) -> SearchOutcome {
     let cfg = ctx.cfg;
     let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
-    heap.push(HeapNode(root_node));
+    for root in roots {
+        heap.push(HeapNode(root));
+    }
     let mut pc = PseudoCosts::new(ctx.root_lb.len());
     let mut lb_buf = ctx.root_lb.to_vec();
     let mut ub_buf = ctx.root_ub.to_vec();
     let mut hit_limit = false;
+    let mut dropped_bound = f64::INFINITY;
     let mut plunge_next: Option<Node> = None;
 
     'outer: loop {
@@ -418,8 +464,8 @@ fn search_sequential(
                 continue;
             }
         }
-        // Limits.
-        if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+        // Limits (wall-clock, cancellation, injected expiry, node count).
+        if ctx.should_stop(stats.nodes) {
             hit_limit = true;
             break;
         }
@@ -440,15 +486,27 @@ fn search_sequential(
         }
 
         stats.lp_solves += 1;
-        let r = solve_lp(
+        let r = match solve_lp(
             ctx.lp,
             &lb_buf,
             &ub_buf,
             cfg,
             node.warm.as_deref().map(|v| &v[..]),
             ctx.deadline,
-        );
+        ) {
+            Ok(r) => r,
+            Err(_) => {
+                // Recovery ladder exhausted on this node: drop its subtree
+                // but remember its bound so the final status stays honest.
+                stats.dropped_nodes += 1;
+                dropped_bound = dropped_bound.min(node.bound);
+                continue;
+            }
+        };
         stats.simplex_iters += r.iters;
+        if r.recoveries > 0 {
+            stats.lp_recoveries += 1;
+        }
         match r.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
@@ -457,6 +515,7 @@ fn search_sequential(
                     open_bound: f64::NEG_INFINITY,
                     hit_limit: false,
                     unbounded: true,
+                    dropped_bound: f64::INFINITY,
                 }
             }
             LpStatus::Limit => {
@@ -573,6 +632,7 @@ fn search_sequential(
         open_bound,
         hit_limit,
         unbounded: false,
+        dropped_bound,
     }
 }
 
@@ -664,6 +724,17 @@ struct ParShared {
     lp_solves: AtomicUsize,
     simplex_iters: AtomicUsize,
     heuristic_solutions: AtomicUsize,
+    /// A clone of the node each worker is currently processing, so a panic
+    /// can re-queue it instead of losing the subtree.
+    inflight: Vec<Mutex<Option<Node>>>,
+    /// Workers that panicked and were isolated.
+    worker_panics: AtomicUsize,
+    /// Nodes dropped after unrecoverable LP errors.
+    dropped_nodes: AtomicUsize,
+    /// Smallest bound among dropped nodes (f64 bits; ∞ = none).
+    dropped_bound: AtomicU64,
+    /// LP solves that needed at least one recovery rung.
+    lp_recoveries: AtomicUsize,
 }
 
 impl ParShared {
@@ -673,7 +744,7 @@ impl ParShared {
 
     /// Installs a new incumbent if it improves; returns whether it did.
     fn offer_incumbent(&self, obj: f64, x: Vec<f64>) -> bool {
-        let mut guard = self.inc_full.lock().unwrap();
+        let mut guard = relock(&self.inc_full);
         let improves = guard.as_ref().is_none_or(|(o, _)| obj < *o);
         if improves {
             *guard = Some((obj, x));
@@ -684,13 +755,45 @@ impl ParShared {
 
     /// Pushes an unprocessed node back (worker exiting mid-node).
     fn park_node(&self, node: Node) {
-        self.heap.lock().unwrap().push(HeapNode(node));
+        relock(&self.heap).push(HeapNode(node));
     }
 
     /// Marks worker `id` idle after it finished (or parked) a node.
     fn release(&self, id: usize) {
+        relock(&self.inflight[id]).take();
         self.slots[id].store(INF_BITS, AtomicOrdering::SeqCst);
         self.active.fetch_sub(1, AtomicOrdering::SeqCst);
+    }
+
+    /// Records the bound of a node dropped after an unrecoverable LP error.
+    fn record_dropped(&self, bound: f64) {
+        self.dropped_nodes.fetch_add(1, AtomicOrdering::SeqCst);
+        let mut cur = self.dropped_bound.load(AtomicOrdering::SeqCst);
+        while bound < f64::from_bits(cur) {
+            match self.dropped_bound.compare_exchange(
+                cur,
+                bound.to_bits(),
+                AtomicOrdering::SeqCst,
+                AtomicOrdering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Cleans up after worker `id` unwound from a panic: the in-flight node
+    /// (if any) goes back to the pool and the worker's active slot is
+    /// surrendered so surviving workers never wait on the dead one.
+    fn recover_after_panic(&self, id: usize) {
+        self.worker_panics.fetch_add(1, AtomicOrdering::SeqCst);
+        let taken = relock(&self.inflight[id]).take();
+        if let Some(node) = taken {
+            self.park_node(node);
+        }
+        if self.slots[id].load(AtomicOrdering::SeqCst) != INF_BITS {
+            self.release(id);
+        }
     }
 }
 
@@ -717,13 +820,26 @@ fn search_parallel(
         lp_solves: AtomicUsize::new(0),
         simplex_iters: AtomicUsize::new(0),
         heuristic_solutions: AtomicUsize::new(0),
+        inflight: (0..nthreads).map(|_| Mutex::new(None)).collect(),
+        worker_panics: AtomicUsize::new(0),
+        dropped_nodes: AtomicUsize::new(0),
+        dropped_bound: AtomicU64::new(INF_BITS),
+        lp_recoveries: AtomicUsize::new(0),
     };
-    shared.heap.lock().unwrap().push(HeapNode(root_node));
+    relock(&shared.heap).push(HeapNode(root_node));
 
     std::thread::scope(|s| {
         for id in 0..nthreads {
             let shared = &shared;
-            s.spawn(move || worker(ctx, shared, id));
+            s.spawn(move || {
+                // Isolate panics: a poisoned worker surrenders its node and
+                // slot; the survivors keep searching with the incumbent
+                // intact. AssertUnwindSafe is justified because every shared
+                // structure is either atomic or repaired by relock().
+                if catch_unwind(AssertUnwindSafe(|| worker(ctx, shared, id))).is_err() {
+                    shared.recover_after_panic(id);
+                }
+            });
         }
     });
 
@@ -731,12 +847,47 @@ fn search_parallel(
     stats.lp_solves += shared.lp_solves.load(AtomicOrdering::SeqCst);
     stats.simplex_iters += shared.simplex_iters.load(AtomicOrdering::SeqCst);
     stats.heuristic_solutions += shared.heuristic_solutions.load(AtomicOrdering::SeqCst);
-    let heap = shared.heap.into_inner().unwrap();
+    stats.worker_panics += shared.worker_panics.load(AtomicOrdering::SeqCst);
+    stats.dropped_nodes += shared.dropped_nodes.load(AtomicOrdering::SeqCst);
+    stats.lp_recoveries += shared.lp_recoveries.load(AtomicOrdering::SeqCst);
+    let stopped = shared.stop.load(AtomicOrdering::SeqCst);
+    let panics = shared.worker_panics.load(AtomicOrdering::SeqCst);
+    let dropped_bound = f64::from_bits(shared.dropped_bound.load(AtomicOrdering::SeqCst));
+    let heap = shared
+        .heap
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let incumbent = shared
+        .inc_full
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+
+    // Degrade to sequential: if panics killed every worker while open nodes
+    // remain (no stop flag, non-empty pool), finish the search single-
+    // threaded so the result is still exact.
+    if panics > 0 && !stopped && !heap.is_empty() {
+        if ctx.cfg.verbose {
+            eprintln!(
+                "[milp] {} worker(s) panicked with {} open nodes; continuing sequentially",
+                panics,
+                heap.len()
+            );
+        }
+        let roots: Vec<Node> = heap.into_iter().map(|h| h.0).collect();
+        // stats.nodes already carries the parallel phase's count; the
+        // sequential loop increments (and checks node_limit against) the
+        // cumulative total.
+        let mut outcome = search_sequential(ctx, roots, incumbent, stats);
+        outcome.dropped_bound = outcome.dropped_bound.min(dropped_bound);
+        return outcome;
+    }
+
     SearchOutcome {
-        incumbent: shared.inc_full.into_inner().unwrap(),
+        incumbent,
         open_bound: heap.peek().map_or(f64::INFINITY, |h| h.0.bound),
         hit_limit: shared.hit_limit.load(AtomicOrdering::SeqCst),
         unbounded: shared.unbounded.load(AtomicOrdering::SeqCst),
+        dropped_bound,
     }
 }
 
@@ -751,7 +902,7 @@ fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> 
             return None;
         }
         {
-            let mut heap = shared.heap.lock().unwrap();
+            let mut heap = relock(&shared.heap);
             // Gap-based termination against the global open bound.
             let heap_min = heap.peek().map_or(f64::INFINITY, |h| h.0.bound);
             let slot_min = shared
@@ -771,6 +922,7 @@ fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> 
             if let Some(HeapNode(nd)) = heap.pop() {
                 shared.active.fetch_add(1, AtomicOrdering::SeqCst);
                 shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
+                *relock(&shared.inflight[id]) = Some(nd.clone());
                 return Some(nd);
             }
             if shared.active.load(AtomicOrdering::SeqCst) == 0 {
@@ -801,6 +953,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                     break;
                 }
                 shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
+                *relock(&shared.inflight[id]) = Some(nd.clone());
                 nd
             }
             None => match pop_next(ctx, shared, id) {
@@ -809,13 +962,19 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
             },
         };
 
+        // Injected fault: panic exactly here, with the node in flight, so
+        // tests prove the recovery path re-queues it.
+        if cfg.faults.as_ref().is_some_and(|f| f.should_panic_worker(id)) {
+            panic!("injected panic in worker {id}");
+        }
+
         // Prune against the freshest incumbent.
         if node.bound >= shared.incumbent_bound() - cfg.abs_gap {
             shared.release(id);
             continue;
         }
-        // Limits.
-        if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+        // Limits (wall-clock, cancellation, injected expiry, node count).
+        if ctx.should_stop(shared.nodes.load(AtomicOrdering::SeqCst)) {
             shared.hit_limit.store(true, AtomicOrdering::SeqCst);
             shared.stop.store(true, AtomicOrdering::SeqCst);
             shared.park_node(node);
@@ -842,17 +1001,29 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
         }
 
         shared.lp_solves.fetch_add(1, AtomicOrdering::SeqCst);
-        let r = solve_lp(
+        let r = match solve_lp(
             ctx.lp,
             &lb_buf,
             &ub_buf,
             cfg,
             node.warm.as_deref().map(|v| &v[..]),
             ctx.deadline,
-        );
+        ) {
+            Ok(r) => r,
+            Err(_) => {
+                // Recovery ladder exhausted: drop the subtree, keep its
+                // bound so the final status stays honest.
+                shared.record_dropped(node.bound);
+                shared.release(id);
+                continue;
+            }
+        };
         shared
             .simplex_iters
             .fetch_add(r.iters, AtomicOrdering::SeqCst);
+        if r.recoveries > 0 {
+            shared.lp_recoveries.fetch_add(1, AtomicOrdering::SeqCst);
+        }
         match r.status {
             LpStatus::Infeasible => {
                 shared.release(id);
@@ -944,7 +1115,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                 }
                 match cfg.node_selection {
                     NodeSelection::BestBound => {
-                        let mut heap = shared.heap.lock().unwrap();
+                        let mut heap = relock(&shared.heap);
                         heap.push(HeapNode(down_child));
                         heap.push(HeapNode(up_child));
                         drop(heap);
@@ -959,7 +1130,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                         } else {
                             (up_child, down_child)
                         };
-                        shared.heap.lock().unwrap().push(HeapNode(push));
+                        relock(&shared.heap).push(HeapNode(push));
                         plunge_next = Some(keep);
                         // stays active; the slot is refreshed at loop top
                     }

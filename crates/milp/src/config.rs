@@ -1,5 +1,6 @@
 //! Solver configuration: tolerances, limits, and strategy switches.
 
+use crate::error::{CancelToken, FaultInjection};
 use std::time::Duration;
 
 /// Branching variable selection strategy for the branch-and-bound search.
@@ -80,6 +81,14 @@ pub struct Config {
     /// thread count (within the gap tolerances); node counts and timings
     /// vary with scheduling.
     pub threads: usize,
+    /// Cooperative cancellation token. When set, the solve winds down at the
+    /// next checkpoint after [`CancelToken::cancel`] and returns the best
+    /// incumbent with a limit status, exactly like a deadline expiry.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection plan (tests only): forces LU
+    /// singularities, worker panics, and simulated deadline expiry so every
+    /// recovery path is exercised.
+    pub faults: Option<FaultInjection>,
 }
 
 impl Default for Config {
@@ -101,6 +110,8 @@ impl Default for Config {
             verbose: false,
             seed: 0x5eed,
             threads: 0,
+            cancel: None,
+            faults: None,
         }
     }
 }
@@ -151,6 +162,23 @@ impl Config {
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (tests only).
+    pub fn with_faults(mut self, faults: FaultInjection) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Whether the attached cancellation token (if any) has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Resolves [`Config::threads`] to a concrete worker count: `0` maps to

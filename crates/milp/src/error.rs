@@ -1,0 +1,300 @@
+//! Recoverable solver errors, cooperative cancellation, and deterministic
+//! fault injection.
+//!
+//! The solver's failure philosophy: every numerical failure is first handled
+//! *in place* by a recovery ladder (refactorize → slack-basis reset with
+//! Bland's rule → seeded perturb-and-retry); only when the ladder is
+//! exhausted does a [`SolveError`] surface, and even then the branch-and-
+//! bound driver degrades the search (dropping the node, downgrading the
+//! optimality claim to a limit status) instead of panicking. The
+//! [`FaultInjection`] hooks let tests force each rung of that ladder to run
+//! deterministically.
+
+use crate::lu::LuError;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Structured taxonomy of solver failures that survive the in-solver
+/// recovery ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Basis factorization failed even after falling back to the (normally
+    /// always-nonsingular) slack basis.
+    SingularBasis {
+        /// Basis position where elimination found no acceptable pivot.
+        position: usize,
+    },
+    /// An eta update pivot was too small and refactorization did not help.
+    UnstableUpdate {
+        /// Basis position of the offending update.
+        position: usize,
+    },
+    /// Iterates or the objective became non-finite (NaN/∞ blow-up).
+    NumericBlowup,
+    /// The simplex stalled past every anti-cycling safeguard (degenerate
+    /// pivot run with Bland's rule already active).
+    Cycling {
+        /// Iteration count at which the stall was declared.
+        iters: usize,
+    },
+    /// A parallel search worker panicked and was isolated.
+    WorkerPanic {
+        /// Worker id that panicked.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::SingularBasis { position } => {
+                write!(f, "singular basis at position {} (recovery exhausted)", position)
+            }
+            SolveError::UnstableUpdate { position } => {
+                write!(f, "unstable eta update at position {} (recovery exhausted)", position)
+            }
+            SolveError::NumericBlowup => write!(f, "non-finite iterate (numeric blow-up)"),
+            SolveError::Cycling { iters } => {
+                write!(f, "simplex stalled after {} iterations despite Bland's rule", iters)
+            }
+            SolveError::WorkerPanic { worker } => {
+                write!(f, "search worker {} panicked", worker)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<LuError> for SolveError {
+    fn from(e: LuError) -> Self {
+        match e {
+            LuError::Singular { position } => SolveError::SingularBasis { position },
+            LuError::UnstableUpdate { position } => SolveError::UnstableUpdate { position },
+        }
+    }
+}
+
+/// Locks a mutex, recovering the guard when a panicking thread poisoned it.
+/// The solver's shared structures (node heap, incumbent) stay consistent
+/// under panic because every critical section is a small push/pop/compare,
+/// so continuing past poison is safe — and required for worker isolation.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cooperative cancellation handle shared by every search worker and LP
+/// solve of one [`crate::Solver`] run.
+///
+/// Cloning the token shares the underlying flag. Cancellation is honored at
+/// the same checkpoints as the wall-clock deadline: the solve winds down and
+/// returns the best incumbent with a limit status.
+///
+/// # Examples
+///
+/// ```
+/// use milp::CancelToken;
+/// let t = CancelToken::new();
+/// let t2 = t.clone();
+/// t.cancel();
+/// assert!(t2.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; all holders observe it at their next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Mutable fault-injection state, shared by every clone of a
+/// [`FaultInjection`] so a whole solve (workers included) draws from the
+/// same deterministic schedule.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// LU factorizations performed so far (1-based ordinals).
+    factorizations: AtomicU64,
+    /// Worker ids whose injected panic has already fired.
+    panicked: Mutex<HashSet<usize>>,
+}
+
+/// Deterministic fault-injection plan for exercising the recovery paths.
+///
+/// All hooks are seeded/ordinal-based so a given plan produces the same
+/// faults on every run; tests assert that recovery restores the fault-free
+/// result rather than trusting the error handling on faith.
+///
+/// # Examples
+///
+/// ```
+/// use milp::FaultInjection;
+/// let f = FaultInjection::seeded(7)
+///     .lu_singular_on(1)
+///     .panic_worker(0)
+///     .expire_after_nodes(100);
+/// assert_eq!(f.seed(), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjection {
+    seed: u64,
+    /// 1-based factorization ordinals forced to report a singular basis.
+    lu_singular_at: Vec<u64>,
+    /// Per-1024 probability of failing any factorization (seeded hash of
+    /// the ordinal, so still fully deterministic).
+    lu_singular_per_1024: u16,
+    /// Worker ids that panic on the first node they pop.
+    panic_workers: Vec<usize>,
+    /// Treat the deadline as expired once this many nodes were processed.
+    deadline_after_nodes: Option<usize>,
+    state: Arc<FaultState>,
+}
+
+/// SplitMix64: cheap, high-quality deterministic hash for seeded decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjection {
+    /// A plan with no faults scheduled, carrying `seed` for the seeded hooks.
+    pub fn seeded(seed: u64) -> Self {
+        FaultInjection {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forces the `ordinal`-th (1-based) LU factorization of the solve to
+    /// report a singular basis.
+    pub fn lu_singular_on(mut self, ordinal: u64) -> Self {
+        self.lu_singular_at.push(ordinal);
+        self
+    }
+
+    /// Fails each factorization with probability `per_1024`/1024, decided by
+    /// a seeded hash of the factorization ordinal (deterministic per seed).
+    pub fn lu_singular_rate(mut self, per_1024: u16) -> Self {
+        self.lu_singular_per_1024 = per_1024.min(1024);
+        self
+    }
+
+    /// Makes parallel worker `id` panic when it first pops a node.
+    pub fn panic_worker(mut self, id: usize) -> Self {
+        self.panic_workers.push(id);
+        self
+    }
+
+    /// Simulates deadline expiry once `n` branch-and-bound nodes were
+    /// processed.
+    pub fn expire_after_nodes(mut self, n: usize) -> Self {
+        self.deadline_after_nodes = Some(n);
+        self
+    }
+
+    /// Hook: called once per LU factorization; `true` forces this one to
+    /// report a singular basis.
+    pub(crate) fn on_factorize(&self) -> bool {
+        let ord = self.state.factorizations.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.lu_singular_at.contains(&ord) {
+            return true;
+        }
+        self.lu_singular_per_1024 > 0
+            && (splitmix64(self.seed ^ ord) % 1024) < u64::from(self.lu_singular_per_1024)
+    }
+
+    /// Hook: whether worker `id` should panic now (fires once per id).
+    pub(crate) fn should_panic_worker(&self, id: usize) -> bool {
+        if !self.panic_workers.contains(&id) {
+            return false;
+        }
+        relock(&self.state.panicked).insert(id)
+    }
+
+    /// Hook: whether the simulated deadline has expired at `nodes`.
+    pub(crate) fn deadline_expired(&self, nodes: usize) -> bool {
+        self.deadline_after_nodes.is_some_and(|n| nodes >= n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_shares_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn lu_ordinal_fires_exactly_once() {
+        let f = FaultInjection::seeded(1).lu_singular_on(2);
+        assert!(!f.on_factorize()); // ordinal 1
+        assert!(f.on_factorize()); // ordinal 2: injected
+        assert!(!f.on_factorize()); // ordinal 3
+        // clones share the counter
+        let g = f.clone();
+        assert!(!g.on_factorize());
+    }
+
+    #[test]
+    fn worker_panic_fires_once_per_id() {
+        let f = FaultInjection::seeded(1).panic_worker(3);
+        assert!(!f.should_panic_worker(0));
+        assert!(f.should_panic_worker(3));
+        assert!(!f.should_panic_worker(3)); // already fired
+    }
+
+    #[test]
+    fn seeded_rate_is_deterministic() {
+        let a = FaultInjection::seeded(42).lu_singular_rate(512);
+        let b = FaultInjection::seeded(42).lu_singular_rate(512);
+        let fa: Vec<bool> = (0..64).map(|_| a.on_factorize()).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.on_factorize()).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&x| x), "rate 1/2 should fire in 64 draws");
+        assert!(fa.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn deadline_after_nodes() {
+        let f = FaultInjection::seeded(0).expire_after_nodes(5);
+        assert!(!f.deadline_expired(4));
+        assert!(f.deadline_expired(5));
+        let none = FaultInjection::seeded(0);
+        assert!(!none.deadline_expired(1_000_000));
+    }
+
+    #[test]
+    fn lu_error_conversion() {
+        let e: SolveError = LuError::Singular { position: 3 }.into();
+        assert_eq!(e, SolveError::SingularBasis { position: 3 });
+        assert!(e.to_string().contains("position 3"));
+    }
+}

@@ -74,7 +74,11 @@ pub fn dive_with(
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return None;
         }
-        let r = solve_lp(lp, &lb, &ub, cfg, warm_statuses.as_deref(), deadline);
+        // Heuristics are optional: an unrecoverable LP error just abandons
+        // the dive instead of propagating.
+        let Ok(r) = solve_lp(lp, &lb, &ub, cfg, warm_statuses.as_deref(), deadline) else {
+            return None;
+        };
         if r.status != LpStatus::Optimal {
             if let Some((j, alt, olo, ohi)) = retry.take() {
                 if alt >= olo && alt <= ohi {

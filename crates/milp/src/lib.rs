@@ -1,3 +1,7 @@
+// Production-path code must surface failures through `SolveError`, not
+// panic; tests and doctests are exempt (unwrap on known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! A from-scratch mixed-integer linear programming solver.
 //!
 //! This crate provides the optimization substrate for the wireless-network
@@ -39,6 +43,7 @@
 
 pub mod branch;
 pub mod config;
+pub mod error;
 pub mod heur;
 pub mod lp_format;
 pub mod lu;
@@ -49,6 +54,7 @@ pub mod solution;
 pub mod sparse;
 
 pub use config::{Branching, Config, NodeSelection};
+pub use error::{CancelToken, FaultInjection, SolveError};
 pub use problem::{Problem, Row, RowId, Sense, Var, VarId, VarType};
 pub use solution::{Solution, Stats, Status};
 

@@ -13,9 +13,16 @@
 //! standard composite cost vector, and Phase 2 runs the classic revised
 //! simplex with Dantzig pricing, a bound-flip-aware ratio test, and Bland's
 //! rule as an anti-cycling fallback.
+//!
+//! Numerical failures are recovered in-solver before surfacing: a singular
+//! factorization triggers a refactorize / slack-basis reset, a persistent
+//! stall restarts the solve under Bland's rule, and a final rung re-solves
+//! with seeded cost perturbations. Only when all rungs fail does
+//! [`solve_lp`] return a [`SolveError`].
 
 use crate::config::Config;
-use crate::lu::Factorization;
+use crate::error::SolveError;
+use crate::lu::{Factorization, LuError};
 use crate::sparse::CscMatrix;
 use std::time::Instant;
 
@@ -59,6 +66,9 @@ pub struct LpResult {
     /// Final basis statuses over structural + slack variables; reusable as a
     /// warm start for a subsequent solve with modified bounds.
     pub statuses: Vec<VStat>,
+    /// Recovery rungs consumed before this result was produced (0 = clean
+    /// solve, 1 = Bland's-rule restart, 2 = perturb-and-retry).
+    pub recoveries: usize,
 }
 
 /// The LP data in computational form, shared across warm-started solves.
@@ -116,6 +126,14 @@ struct Engine<'a> {
     iters: usize,
     degenerate_run: usize,
     deadline: Option<Instant>,
+    /// Recovery rung: forces Bland's rule from the first iteration.
+    force_bland: bool,
+    /// Slack-basis rebuilds performed after singular factorizations; capped
+    /// so a persistently singular basis surfaces as an error instead of
+    /// looping.
+    slack_resets: usize,
+    /// Last factorization failure, kept for error reporting.
+    last_lu: Option<LuError>,
 }
 
 enum Pricing {
@@ -166,6 +184,9 @@ impl<'a> Engine<'a> {
             iters: 0,
             degenerate_run: 0,
             deadline,
+            force_bland: false,
+            slack_resets: 0,
+            last_lu: None,
         }
     }
 
@@ -216,8 +237,8 @@ impl<'a> Engine<'a> {
     }
 
     /// Installs a warm-start status vector if it is usable, else the slack
-    /// basis. Returns `true` on successful factorization.
-    fn install(&mut self, warm: Option<&[VStat]>) -> bool {
+    /// basis. Errs only when even the slack basis fails to factorize.
+    fn install(&mut self, warm: Option<&[VStat]>) -> Result<(), SolveError> {
         if let Some(w) = warm {
             if w.len() == self.nn && w.iter().filter(|s| **s == VStat::Basic).count() == self.m {
                 self.basis.clear();
@@ -244,34 +265,52 @@ impl<'a> Engine<'a> {
                     }
                 }
                 if self.refactorize() {
-                    return true;
+                    return Ok(());
                 }
             }
         }
         self.slack_basis();
-        self.refactorize()
+        if self.refactorize() || self.refactorize() {
+            // The slack basis is -I and can only fail under injection or a
+            // broken workspace; one retry absorbs a single injected fault.
+            return Ok(());
+        }
+        Err(self
+            .last_lu
+            .clone()
+            .map(SolveError::from)
+            .unwrap_or(SolveError::SingularBasis { position: 0 }))
     }
 
     fn refactorize(&mut self) -> bool {
+        if let Some(f) = &self.cfg.faults {
+            if f.on_factorize() {
+                // Injected singularity: report exactly what a real one would.
+                self.last_lu = Some(LuError::Singular { position: 0 });
+                return false;
+            }
+        }
         let mut colbuf: Vec<(usize, f64)> = Vec::new();
         let basis = self.basis.clone();
         let lp = self.lp;
         let n = self.n;
-        let ok = self
-            .fact
-            .factorize(|k, out| {
-                let j = basis[k];
-                colbuf.clear();
-                if j < n {
-                    for (r, v) in lp.a.col(j) {
-                        out.push((r, v));
-                    }
-                } else {
-                    out.push((j - n, -1.0));
+        match self.fact.factorize(|k, out| {
+            let j = basis[k];
+            colbuf.clear();
+            if j < n {
+                for (r, v) in lp.a.col(j) {
+                    out.push((r, v));
                 }
-            })
-            .is_ok();
-        ok
+            } else {
+                out.push((j - n, -1.0));
+            }
+        }) {
+            Ok(()) => true,
+            Err(e) => {
+                self.last_lu = Some(e);
+                false
+            }
+        }
     }
 
     /// Recomputes the values of all basic variables from the nonbasic rest
@@ -461,22 +500,30 @@ impl<'a> Engine<'a> {
     }
 
     fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| Instant::now() >= d) || self.cfg.is_cancelled()
     }
 
+    /// Maximum degenerate-pivot run tolerated once Bland's rule is already
+    /// active; past this the solve is declared stalled ([`SolveError::Cycling`]).
+    const STALL_LIMIT: usize = 5_000;
+
     /// Runs simplex iterations; `phase1` controls the costs. Returns the
-    /// terminating condition from the inner loop.
-    fn iterate(&mut self, phase1: bool) -> LpStatus {
+    /// terminating condition from the inner loop, or a [`SolveError`] when
+    /// the in-loop safeguards (slack reset, Bland's rule) are exhausted.
+    fn iterate(&mut self, phase1: bool) -> Result<LpStatus, SolveError> {
         let mut colbuf: Vec<(usize, f64)> = Vec::new();
         let mut since_recompute = 0usize;
         loop {
             if let Some(limit) = self.cfg.iter_limit {
                 if self.iters >= limit {
-                    return LpStatus::Limit;
+                    return Ok(LpStatus::Limit);
                 }
             }
             if self.iters.is_multiple_of(64) && self.out_of_time() {
-                return LpStatus::Limit;
+                return Ok(LpStatus::Limit);
+            }
+            if self.degenerate_run > Self::STALL_LIMIT {
+                return Err(SolveError::Cycling { iters: self.iters });
             }
             if self.cfg.verbose && self.iters > 0 && self.iters.is_multiple_of(50_000) {
                 eprintln!(
@@ -489,16 +536,16 @@ impl<'a> Engine<'a> {
                 );
             }
             if phase1 && self.infeasibility() <= self.cfg.feas_tol * (1.0 + self.m as f64) {
-                return LpStatus::Optimal; // feasible; caller proceeds to phase 2
+                return Ok(LpStatus::Optimal); // feasible; caller proceeds to phase 2
             }
-            let bland = self.degenerate_run > 200;
+            let bland = self.force_bland || self.degenerate_run > 200;
             let (j, dir) = match self.price(phase1, bland) {
                 Pricing::Entering { j, dir } => (j, dir),
                 Pricing::OptimalOrFeasible => {
                     if phase1 && self.infeasibility() > self.cfg.feas_tol * (1.0 + self.m as f64) {
-                        return LpStatus::Infeasible;
+                        return Ok(LpStatus::Infeasible);
                     }
-                    return LpStatus::Optimal;
+                    return Ok(LpStatus::Optimal);
                 }
             };
             self.column(j, &mut colbuf);
@@ -512,9 +559,9 @@ impl<'a> Engine<'a> {
                     return if phase1 {
                         // cannot happen: phase-1 objective is bounded below by 0;
                         // treat defensively as numerical trouble -> infeasible
-                        LpStatus::Infeasible
+                        Ok(LpStatus::Infeasible)
                     } else {
-                        LpStatus::Unbounded
+                        Ok(LpStatus::Unbounded)
                     };
                 }
                 Ratio::BoundFlip { t } => {
@@ -556,9 +603,23 @@ impl<'a> Engine<'a> {
                                     self.iters
                                 );
                             }
+                            self.slack_resets += 1;
+                            if self.slack_resets > 3 {
+                                // persistently singular: surface it; the
+                                // solve_lp ladder gets the next rung
+                                return Err(self
+                                    .last_lu
+                                    .clone()
+                                    .map(SolveError::from)
+                                    .unwrap_or(SolveError::SingularBasis { position: 0 }));
+                            }
                             self.slack_basis();
-                            if !self.refactorize() {
-                                return LpStatus::Infeasible;
+                            if !self.refactorize() && !self.refactorize() {
+                                return Err(self
+                                    .last_lu
+                                    .clone()
+                                    .map(SolveError::from)
+                                    .unwrap_or(SolveError::SingularBasis { position: 0 }));
                             }
                             self.compute_basics();
                             continue;
@@ -574,6 +635,9 @@ impl<'a> Engine<'a> {
                 // periodic accuracy refresh
                 self.compute_basics();
                 since_recompute = 0;
+                if !self.x.iter().all(|v| v.is_finite()) {
+                    return Err(SolveError::NumericBlowup);
+                }
             }
         }
     }
@@ -589,8 +653,61 @@ impl<'a> Engine<'a> {
             x: self.x[..self.n].to_vec(),
             iters: self.iters,
             statuses: self.status.clone(),
+            recoveries: 0,
         }
     }
+}
+
+/// Deterministic hash in `[0, 1)` for seeded cost perturbations.
+fn hash01(seed: u64, j: usize) -> f64 {
+    let mut x = seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One rung of the recovery ladder: a complete two-phase solve with optional
+/// Bland forcing and seeded cost perturbation.
+#[allow(clippy::too_many_arguments)]
+fn solve_lp_attempt(
+    lp: &LpData,
+    var_lb: &[f64],
+    var_ub: &[f64],
+    cfg: &Config,
+    warm: Option<&[VStat]>,
+    deadline: Option<Instant>,
+    force_bland: bool,
+    perturb_seed: Option<u64>,
+) -> Result<LpResult, SolveError> {
+    let mut eng = Engine::new(lp, var_lb, var_ub, cfg, deadline);
+    eng.force_bland = force_bland;
+    if let Some(seed) = perturb_seed {
+        // Tiny seeded cost jitter breaks the degenerate ties that defeated
+        // the earlier rungs; the true objective is recomputed afterwards.
+        for j in 0..eng.n {
+            let c = eng.cost[j];
+            eng.cost[j] = c + 1e-7 * (hash01(seed, j) - 0.5) * (1.0 + c.abs());
+        }
+    }
+    eng.install(warm)?;
+    eng.compute_basics();
+
+    // Phase 1 if needed.
+    if eng.infeasibility() > cfg.feas_tol * (1.0 + eng.m as f64) {
+        match eng.iterate(true)? {
+            LpStatus::Optimal => {}
+            s => return Ok(eng.result(s)),
+        }
+    }
+    // Phase 2.
+    let status = eng.iterate(false)?;
+    let mut r = eng.result(status);
+    if perturb_seed.is_some() {
+        // Report the unperturbed objective.
+        r.obj = (0..lp.num_vars()).map(|j| lp.c[j] * r.x[j]).sum();
+    }
+    Ok(r)
 }
 
 /// Solves the LP given by `lp` with per-call variable bounds.
@@ -600,11 +717,13 @@ impl<'a> Engine<'a> {
 /// repaired, falling back to the all-slack basis when unusable.
 ///
 /// `deadline` bounds wall-clock time; on expiry the solve returns
-/// [`LpStatus::Limit`].
+/// [`LpStatus::Limit`]. A [`crate::CancelToken`] on `cfg` is honored at the
+/// same checkpoints.
 ///
-/// # Panics
-///
-/// Panics if `var_lb`/`var_ub` lengths do not match the matrix width.
+/// Numerical failures run a three-rung recovery ladder before surfacing: a
+/// clean re-solve, a cold-start re-solve under Bland's rule, and a seeded
+/// perturb-and-retry. [`LpResult::recoveries`] records how many rungs were
+/// consumed; an `Err` means all three failed.
 pub fn solve_lp(
     lp: &LpData,
     var_lb: &[f64],
@@ -612,44 +731,44 @@ pub fn solve_lp(
     cfg: &Config,
     warm: Option<&[VStat]>,
     deadline: Option<Instant>,
-) -> LpResult {
-    assert_eq!(var_lb.len(), lp.num_vars());
-    assert_eq!(var_ub.len(), lp.num_vars());
+) -> Result<LpResult, SolveError> {
+    // Length mismatches are construction bugs in the caller, not runtime
+    // conditions: the branch-and-bound driver always passes vectors sized
+    // off this same matrix.
+    debug_assert_eq!(var_lb.len(), lp.num_vars());
+    debug_assert_eq!(var_ub.len(), lp.num_vars());
     for j in 0..var_lb.len() {
         if var_lb[j] > var_ub[j] {
             // trivially infeasible bounds (possible after branching)
-            return LpResult {
+            return Ok(LpResult {
                 status: LpStatus::Infeasible,
                 obj: f64::INFINITY,
                 x: Vec::new(),
                 iters: 0,
                 statuses: Vec::new(),
-            };
+                recoveries: 0,
+            });
         }
     }
-    let mut eng = Engine::new(lp, var_lb, var_ub, cfg, deadline);
-    if !eng.install(warm) {
-        // slack basis must factorize; if not, dimensions are broken
-        return LpResult {
-            status: LpStatus::Infeasible,
-            obj: f64::INFINITY,
-            x: Vec::new(),
-            iters: 0,
-            statuses: Vec::new(),
+    let mut last_err = SolveError::NumericBlowup;
+    for attempt in 0..3u32 {
+        let (w, bland, perturb) = match attempt {
+            0 => (warm, false, None),
+            // Rung 1: discard the (possibly corrupt) warm basis, force
+            // Bland's rule from iteration one.
+            1 => (None, true, None),
+            // Rung 2: additionally perturb costs to break degeneracy.
+            _ => (None, true, Some(cfg.seed ^ 0xFA17)),
         };
-    }
-    eng.compute_basics();
-
-    // Phase 1 if needed.
-    if eng.infeasibility() > cfg.feas_tol * (1.0 + eng.m as f64) {
-        match eng.iterate(true) {
-            LpStatus::Optimal => {}
-            s => return eng.result(s),
+        match solve_lp_attempt(lp, var_lb, var_ub, cfg, w, deadline, bland, perturb) {
+            Ok(mut r) => {
+                r.recoveries = attempt as usize;
+                return Ok(r);
+            }
+            Err(e) => last_err = e,
         }
     }
-    // Phase 2.
-    let status = eng.iterate(false);
-    eng.result(status)
+    Err(last_err)
 }
 
 #[cfg(test)]
@@ -685,7 +804,7 @@ mod tests {
     fn simple_min() {
         // min x + y  s.t. x + y >= 2, x,y in [0, 10]
         let data = lp(&[(&[(0, 1.0), (1, 1.0)], 2.0, INF)], 2, &[1.0, 1.0]);
-        let r = solve_lp(&data, &[0.0, 0.0], &[10.0, 10.0], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0, 0.0], &[10.0, 10.0], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj - 2.0).abs() < 1e-7, "obj = {}", r.obj);
     }
@@ -701,7 +820,7 @@ mod tests {
             2,
             &[-3.0, -2.0],
         );
-        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj + 12.0).abs() < 1e-7, "obj = {}", r.obj);
         assert!((r.x[0] - 4.0).abs() < 1e-7);
@@ -719,7 +838,7 @@ mod tests {
             2,
             &[2.0, 3.0],
         );
-        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj - 12.0).abs() < 1e-7, "obj = {}", r.obj);
         assert!((r.x[0] - 3.0).abs() < 1e-7);
@@ -737,7 +856,7 @@ mod tests {
             1,
             &[1.0],
         );
-        let r = solve_lp(&data, &[0.0], &[INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0], &[INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Infeasible);
     }
 
@@ -745,7 +864,7 @@ mod tests {
     fn unbounded_detected() {
         // min -x, x >= 0, no upper limit
         let data = lp(&[(&[(0, 1.0)], 0.0, INF)], 1, &[-1.0]);
-        let r = solve_lp(&data, &[0.0], &[INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0], &[INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Unbounded);
     }
 
@@ -753,7 +872,7 @@ mod tests {
     fn free_variable() {
         // min x s.t. x >= -5 via row (free var bounds)
         let data = lp(&[(&[(0, 1.0)], -5.0, INF)], 1, &[1.0]);
-        let r = solve_lp(&data, &[-INF], &[INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[-INF], &[INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj + 5.0).abs() < 1e-7, "obj = {}", r.obj);
     }
@@ -762,7 +881,7 @@ mod tests {
     fn negative_lower_bounds() {
         // min x + y, x in [-3, 3], y in [-2, 2], x + y >= -4
         let data = lp(&[(&[(0, 1.0), (1, 1.0)], -4.0, INF)], 2, &[1.0, 1.0]);
-        let r = solve_lp(&data, &[-3.0, -2.0], &[3.0, 2.0], &Config::default(), None, None);
+        let r = solve_lp(&data, &[-3.0, -2.0], &[3.0, 2.0], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj + 4.0).abs() < 1e-7, "obj = {}", r.obj);
     }
@@ -771,7 +890,7 @@ mod tests {
     fn range_rows() {
         // min x, 2 <= x + y <= 6, y in [0, 1] -> x >= 1 when y at most 1
         let data = lp(&[(&[(0, 1.0), (1, 1.0)], 2.0, 6.0)], 2, &[1.0, 0.0]);
-        let r = solve_lp(&data, &[0.0, 0.0], &[INF, 1.0], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, 1.0], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj - 1.0).abs() < 1e-7, "obj = {}", r.obj);
     }
@@ -780,7 +899,7 @@ mod tests {
     fn warm_start_after_bound_change() {
         // min -x - y, x + y <= 4, x,y in [0,3]; opt 4 at e.g. (3,1)
         let data = lp(&[(&[(0, 1.0), (1, 1.0)], -INF, 4.0)], 2, &[-1.0, -1.0]);
-        let r1 = solve_lp(&data, &[0.0, 0.0], &[3.0, 3.0], &Config::default(), None, None);
+        let r1 = solve_lp(&data, &[0.0, 0.0], &[3.0, 3.0], &Config::default(), None, None).unwrap();
         assert_eq!(r1.status, LpStatus::Optimal);
         assert!((r1.obj + 4.0).abs() < 1e-7);
         // Tighten x <= 1 and warm start: optimum becomes -1 - 3 = ... x+y<=4
@@ -792,7 +911,8 @@ mod tests {
             &Config::default(),
             Some(&r1.statuses),
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(r2.status, LpStatus::Optimal);
         assert!((r2.obj + 2.0).abs() < 1e-7, "obj = {}", r2.obj);
     }
@@ -801,7 +921,7 @@ mod tests {
     fn fixed_variables() {
         // x fixed at 2, min y with y >= x
         let data = lp(&[(&[(1, 1.0), (0, -1.0)], 0.0, INF)], 2, &[0.0, 1.0]);
-        let r = solve_lp(&data, &[2.0, 0.0], &[2.0, INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[2.0, 0.0], &[2.0, INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj - 2.0).abs() < 1e-7, "obj = {}", r.obj);
         assert!((r.x[0] - 2.0).abs() < 1e-9);
@@ -821,7 +941,7 @@ mod tests {
             2,
             &[-1.0, -1.0],
         );
-        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None);
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.obj + 1.0).abs() < 1e-7, "obj = {}", r.obj);
     }
@@ -855,7 +975,7 @@ mod tests {
             };
             let lo = vec![0.0; n];
             let hi = vec![5.0; n];
-            let r = solve_lp(&data, &lo, &hi, &Config::default(), None, None);
+            let r = solve_lp(&data, &lo, &hi, &Config::default(), None, None).unwrap();
             // Bounded box + <= rows: never unbounded; x=0 may violate rows
             // with negative ub, so infeasible is possible but solution, when
             // claimed optimal, must verify.

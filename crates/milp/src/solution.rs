@@ -1,5 +1,6 @@
 //! Solve outcomes: status codes, solutions, and search statistics.
 
+use crate::error::SolveError;
 use crate::problem::VarId;
 use std::time::Duration;
 
@@ -16,6 +17,9 @@ pub enum Status {
     LimitFeasible,
     /// A limit was hit with no feasible incumbent found.
     LimitNoSolution,
+    /// The solve failed numerically even after every recovery rung; see
+    /// [`Solution::solve_error`] for the underlying [`SolveError`].
+    NumericFailure,
 }
 
 impl Status {
@@ -33,6 +37,7 @@ impl std::fmt::Display for Status {
             Status::Unbounded => "unbounded",
             Status::LimitFeasible => "limit reached (feasible incumbent)",
             Status::LimitNoSolution => "limit reached (no solution)",
+            Status::NumericFailure => "numeric failure (recovery exhausted)",
         };
         f.write_str(s)
     }
@@ -55,6 +60,14 @@ pub struct Stats {
     pub presolve_rows_removed: usize,
     /// Variables fixed/removed by presolve.
     pub presolve_vars_removed: usize,
+    /// LP solves that needed at least one recovery rung (Bland restart or
+    /// perturb-and-retry) before succeeding.
+    pub lp_recoveries: usize,
+    /// Parallel search workers that panicked and were isolated.
+    pub worker_panics: usize,
+    /// Branch-and-bound nodes dropped after an unrecoverable LP error (the
+    /// final status is downgraded so optimality is never claimed past them).
+    pub dropped_nodes: usize,
 }
 
 /// Result of solving a [`crate::Problem`].
@@ -65,6 +78,7 @@ pub struct Solution {
     pub(crate) best_bound: f64,
     pub(crate) values: Vec<f64>,
     pub(crate) stats: Stats,
+    pub(crate) error: Option<SolveError>,
 }
 
 impl Solution {
@@ -136,6 +150,11 @@ impl Solution {
         &self.stats
     }
 
+    /// The [`SolveError`] behind a [`Status::NumericFailure`], if any.
+    pub fn solve_error(&self) -> Option<&SolveError> {
+        self.error.as_ref()
+    }
+
     pub(crate) fn infeasible(stats: Stats) -> Self {
         Solution {
             status: Status::Infeasible,
@@ -143,6 +162,7 @@ impl Solution {
             best_bound: f64::INFINITY,
             values: Vec::new(),
             stats,
+            error: None,
         }
     }
 
@@ -153,6 +173,18 @@ impl Solution {
             best_bound: f64::NEG_INFINITY,
             values: Vec::new(),
             stats,
+            error: None,
+        }
+    }
+
+    pub(crate) fn numeric_failure(stats: Stats, error: SolveError) -> Self {
+        Solution {
+            status: Status::NumericFailure,
+            objective: f64::INFINITY,
+            best_bound: f64::NEG_INFINITY,
+            values: Vec::new(),
+            stats,
+            error: Some(error),
         }
     }
 }
@@ -168,6 +200,15 @@ mod tests {
         assert!(!Status::Infeasible.has_solution());
         assert!(!Status::Unbounded.has_solution());
         assert!(!Status::LimitNoSolution.has_solution());
+        assert!(!Status::NumericFailure.has_solution());
+    }
+
+    #[test]
+    fn numeric_failure_carries_error() {
+        let s = Solution::numeric_failure(Stats::default(), SolveError::NumericBlowup);
+        assert_eq!(s.status(), Status::NumericFailure);
+        assert_eq!(s.solve_error(), Some(&SolveError::NumericBlowup));
+        assert!(!s.status().has_solution());
     }
 
     #[test]
@@ -178,6 +219,7 @@ mod tests {
             best_bound: 100.0,
             values: vec![1.0],
             stats: Stats::default(),
+            error: None,
         };
         assert!((s.gap() - 10.0 / 110.0).abs() < 1e-12);
         let inf = Solution::infeasible(Stats::default());

@@ -65,7 +65,11 @@ pub fn k_shortest_paths_filtered(
     let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
 
     while accepted.len() < k {
-        let prev = accepted.last().expect("accepted is non-empty").clone();
+        // `accepted` starts with one path and only ever grows, but degrade
+        // gracefully rather than panic if that invariant is ever broken.
+        let Some(prev) = accepted.last().cloned() else {
+            break;
+        };
         // Spur from every node of the previous path except the target.
         for i in 0..prev.len() {
             let spur_node = prev.nodes()[i];

@@ -15,6 +15,12 @@ cargo build --release
 echo "== tier1: cargo test -q =="
 cargo test -q
 
+echo "== tier1: fault injection (seeded solver recovery paths) =="
+cargo test -q -p milp --test fault_injection
+
+echo "== tier1: degradation ladder =="
+cargo test -q -p archex ladder
+
 echo "== tier1: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
