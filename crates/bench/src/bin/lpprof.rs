@@ -4,7 +4,7 @@
 use archex::encode::{encode, EncodeMode};
 use bench::data_collection_workload;
 use milp::simplex::{solve_lp, LpData};
-use milp::{Config, Sense};
+use milp::{Config, ReoptMode, Sense};
 use std::time::Instant;
 
 fn main() {
@@ -50,11 +50,13 @@ fn main() {
     let t1 = Instant::now();
     let r = solve_lp(&lp, &lb, &ub, &cfg, None, None).expect("root LP solves");
     println!(
-        "root LP: {:?}  status {:?} obj {:.3} iters {}",
+        "root LP: {:?}  status {:?} obj {:.3} iters {} (phase1 {}, dual {})",
         t1.elapsed(),
         r.status,
         r.obj,
-        r.iters
+        r.iters,
+        r.phase1_iters,
+        r.dual_iters
     );
     // warm restart with one integer bound change (mimic a branch)
     let mut lb2 = lb.clone();
@@ -68,36 +70,52 @@ fn main() {
         let t2 = Instant::now();
         let r2 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None).expect("warm LP solves");
         println!(
-            "warm child LP (down-branch x{}): {:?}  status {:?} iters {}",
+            "warm child LP (down-branch x{}): {:?}  status {:?} iters {} (phase1 {}, dual {})",
             j,
             t2.elapsed(),
             r2.status,
-            r2.iters
+            r2.iters,
+            r2.phase1_iters,
+            r2.dual_iters
         );
         lb2[j] = r.x[j].ceil();
         ub2[j] = ub[j];
         let t3 = Instant::now();
         let r3 = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None).expect("warm LP solves");
         println!(
-            "warm child LP (up-branch x{}): {:?}  status {:?} iters {}",
+            "warm child LP (up-branch x{}): {:?}  status {:?} iters {} (phase1 {}, dual {})",
             j,
             t3.elapsed(),
             r3.status,
-            r3.iters
+            r3.iters,
+            r3.phase1_iters,
+            r3.dual_iters
         );
-        // 20 repeated warm solves for steady-state per-node cost
-        let t4 = Instant::now();
-        let mut iters = 0usize;
-        for _ in 0..20 {
-            let rr = solve_lp(&lp, &lb2, &ub2, &cfg, Some(&r.statuses), None).expect("warm LP solves");
-            iters += rr.iters;
+        // 20 repeated warm solves for steady-state per-node cost, once with
+        // the dual reoptimizer (the default for warm starts) and once forced
+        // back through primal Phase 1, to show what reoptimization saves.
+        for (label, reopt) in [("dual reopt", ReoptMode::Auto), ("primal reopt", ReoptMode::Primal)]
+        {
+            let rcfg = cfg.clone().with_reopt(reopt);
+            let t4 = Instant::now();
+            let (mut iters, mut p1, mut du) = (0usize, 0usize, 0usize);
+            for _ in 0..20 {
+                let rr = solve_lp(&lp, &lb2, &ub2, &rcfg, Some(&r.statuses), None)
+                    .expect("warm LP solves");
+                iters += rr.iters;
+                p1 += rr.phase1_iters;
+                du += rr.dual_iters;
+            }
+            println!(
+                "20 warm solves [{}]: {:?} total ({:?}/solve, {} iters: phase1 {}, dual {})",
+                label,
+                t4.elapsed(),
+                t4.elapsed() / 20,
+                iters,
+                p1,
+                du
+            );
         }
-        println!(
-            "20 warm solves: {:?} total ({:?}/solve, {} iters)",
-            t4.elapsed(),
-            t4.elapsed() / 20,
-            iters
-        );
     } else {
         println!("root LP was integral; no branch to profile");
     }

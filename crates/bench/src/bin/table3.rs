@@ -26,7 +26,8 @@
 //!
 //! Environment knobs: `T3_TL` (approx solve limit per row, default 240),
 //! `T3_FULL_TL`, `T3_ROWS` (max rows, default 6; `SCALE=paper` runs all
-//! 10 rows at the paper's sizes).
+//! 10 rows at the paper's sizes), `T3_SKIP_FULL=1` (skip the slow
+//! full-encoding solve on row 1 — used by the tier-1 perf smoke).
 
 use archex::encode::EncodeMode;
 use archex::explore::{encode_only, explore, full_encoding_size_estimate};
@@ -76,6 +77,7 @@ fn main() {
     // building the full model beyond this size would exhaust memory; the
     // paper, too, switches to estimated (~) counts
     let full_build_max_nodes = env_usize("T3_FULL_BUILD_MAX", 100);
+    let skip_full = env_usize("T3_SKIP_FULL", 0) != 0;
 
     println!(
         "Reproducing Table 3 (K* = 10, approx TL = {:?}, full TL = {:?} on row 1)\n",
@@ -123,6 +125,8 @@ fn main() {
             objective: out.design.as_ref().map(|d| d.objective),
             encode_s: encode_time.as_secs_f64(),
             cons: approx_stats.num_cons,
+            pivots: out.stats.simplex_iters,
+            phase1_pivots: out.stats.phase1_iters,
         });
 
         // --- full encoding: measured when small enough, estimated beyond ---
@@ -135,7 +139,7 @@ fn main() {
                 full_encoding_size_estimate(&w.template, &w.library, &w.requirements, 2 * end);
             (cons, "~")
         };
-        let full_time = if row_idx == 0 {
+        let full_time = if row_idx == 0 && !skip_full {
             let mut fopts = ExploreOptions::full();
             fopts.solver.time_limit = Some(full_tl);
             fopts.solver.rel_gap = 0.005;
@@ -214,8 +218,10 @@ fn main() {
                     nodes: out.stats.bb_nodes,
                     status: format!("{:?}", out.status),
                     objective: out.design.as_ref().map(|d| d.objective),
-                    encode_s: 0.0,
-                    cons: 0,
+                    encode_s: out.stats.encode_time.as_secs_f64(),
+                    cons: out.stats.num_cons,
+                    pivots: out.stats.simplex_iters,
+                    phase1_pivots: out.stats.phase1_iters,
                 });
             }
         }

@@ -34,6 +34,11 @@ pub struct SolverRecord {
     pub encode_s: f64,
     /// Constraints in the encoded model.
     pub cons: usize,
+    /// Total simplex pivots across all LP solves of the run.
+    pub pivots: usize,
+    /// Pivots spent in primal Phase 1; dual warm-start reoptimization keeps
+    /// this small relative to `pivots`.
+    pub phase1_pivots: usize,
 }
 
 fn json_f64(v: f64) -> String {
@@ -50,7 +55,8 @@ impl SolverRecord {
             concat!(
                 "{{\"kind\":\"{}\",\"total\":{},\"end\":{},\"threads\":{},",
                 "\"effective_threads\":{},\"wall_s\":{},\"nodes\":{},",
-                "\"status\":\"{}\",\"objective\":{},\"encode_s\":{},\"cons\":{}}}"
+                "\"status\":\"{}\",\"objective\":{},\"encode_s\":{},\"cons\":{},",
+                "\"pivots\":{},\"phase1_pivots\":{}}}"
             ),
             self.kind,
             self.total,
@@ -63,6 +69,8 @@ impl SolverRecord {
             self.objective.map_or("null".to_string(), json_f64),
             json_f64(self.encode_s),
             self.cons,
+            self.pivots,
+            self.phase1_pivots,
         )
     }
 }
@@ -199,11 +207,15 @@ mod tests {
             objective: Some(10.0),
             encode_s: 0.004,
             cons: 2685,
+            pivots: 900,
+            phase1_pivots: 120,
         };
         let s = r.to_json();
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("\"wall_s\":1.250000"));
         assert!(s.contains("\"objective\":10.000000"));
+        assert!(s.contains("\"pivots\":900"));
+        assert!(s.contains("\"phase1_pivots\":120"));
         let r2 = SolverRecord {
             objective: None,
             ..r

@@ -73,6 +73,13 @@ pub struct ExploreStats {
     pub bb_nodes: usize,
     /// Total simplex iterations.
     pub simplex_iters: usize,
+    /// Simplex iterations spent in primal Phase 1; dual-reoptimized warm
+    /// starts keep this low relative to `simplex_iters`.
+    pub phase1_iters: usize,
+    /// Simplex iterations spent in the dual-simplex reoptimizer.
+    pub dual_iters: usize,
+    /// Integer bounds tightened by reduced-cost fixing.
+    pub rc_fixed: usize,
     /// Relative MIP gap of the returned solution (0 when proven optimal,
     /// `f64::INFINITY` when no incumbent exists).
     pub gap: f64,
@@ -131,6 +138,9 @@ pub fn explore(
     stats.solve_time = t1.elapsed();
     stats.bb_nodes = sol.stats().nodes;
     stats.simplex_iters = sol.stats().simplex_iters;
+    stats.phase1_iters = sol.stats().phase1_iters;
+    stats.dual_iters = sol.stats().dual_iters;
+    stats.rc_fixed = sol.stats().rc_fixed;
     stats.gap = sol.gap();
     let design = if sol.has_solution() {
         Some(extract_design(&enc, &sol, template, library, req))

@@ -182,17 +182,71 @@ impl SearchCtx<'_> {
     }
 }
 
-/// Most fractional integer variable of `x`, if any.
-fn most_fractional(x: &[f64], int_vars: &[usize], int_tol: f64) -> Option<(usize, f64)> {
-    let mut best: Option<(usize, f64, f64)> = None;
+/// Most fractional integer variable of `x`, if any. Fractionality ties are
+/// broken by larger objective coefficient magnitude (branching on a
+/// variable the objective actually cares about moves the bound faster on
+/// symmetric routing models), then by lower index for determinism.
+fn most_fractional(x: &[f64], c: &[f64], int_vars: &[usize], int_tol: f64) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64, f64)> = None; // (j, frac, dist, |c_j|)
     for &j in int_vars {
         let f = x[j] - x[j].floor();
         let dist = (f - 0.5).abs();
-        if f > int_tol && f < 1.0 - int_tol && best.is_none_or(|(_, _, d)| dist < d) {
-            best = Some((j, f, dist));
+        if f > int_tol && f < 1.0 - int_tol {
+            let mag = c[j].abs();
+            let better = match best {
+                None => true,
+                Some((_, _, d, m)) => dist < d - 1e-12 || (dist < d + 1e-12 && mag > m),
+            };
+            if better {
+                best = Some((j, f, dist, mag));
+            }
         }
     }
-    best.map(|(j, f, _)| (j, f))
+    best.map(|(j, f, _, _)| (j, f))
+}
+
+/// Reduced-cost variable fixing: given the root LP bound `lp_bound` and an
+/// incumbent objective `inc_obj` (both internal minimize sense) plus the
+/// root reduced costs `dj`, any solution better than the incumbent keeps a
+/// nonbasic variable within `gap / |dj|` of the bound it rests at, so the
+/// opposite bound can be pulled in globally. Returns the number of bounds
+/// tightened. A small cushion keeps incumbent-equal solutions reachable.
+fn fix_by_reduced_costs(
+    lb: &mut [f64],
+    ub: &mut [f64],
+    dj: &[f64],
+    int_vars: &[usize],
+    lp_bound: f64,
+    inc_obj: f64,
+) -> Vec<(usize, f64, f64)> {
+    let mut fixed: Vec<(usize, f64, f64)> = Vec::new();
+    if dj.is_empty() || !lp_bound.is_finite() || !inc_obj.is_finite() {
+        return fixed;
+    }
+    let gap = (inc_obj - lp_bound).max(0.0);
+    let cushion = 1e-6 * (1.0 + gap.abs());
+    for &j in int_vars {
+        if lb[j] >= ub[j] {
+            continue; // already fixed
+        }
+        let d = dj[j];
+        // At optimality d > 0 only at a lower bound and d < 0 only at an
+        // upper bound, so the sign identifies the resting bound.
+        if d > 1e-9 && lb[j].is_finite() {
+            let limit = lb[j] + ((gap + cushion) / d).floor();
+            if limit < ub[j] - 1e-9 {
+                ub[j] = limit.max(lb[j]);
+                fixed.push((j, f64::NEG_INFINITY, ub[j]));
+            }
+        } else if d < -1e-9 && ub[j].is_finite() {
+            let limit = ub[j] - ((gap + cushion) / -d).floor();
+            if limit > lb[j] + 1e-9 {
+                lb[j] = limit.min(ub[j]);
+                fixed.push((j, lb[j], f64::INFINITY));
+            }
+        }
+    }
+    fixed
 }
 
 /// Bounded time window for one dive, clamped to the remaining solver
@@ -251,23 +305,13 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         row_lb,
         row_ub,
     };
-    let root_lb: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).0).collect();
-    let root_ub: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).1).collect();
+    let mut root_lb: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).0).collect();
+    let mut root_ub: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).1).collect();
     let int_vars: Vec<usize> = (0..n)
         .filter(|&j| reduced.var_type(VarId(j)) != VarType::Continuous)
         .collect();
-
-    let ctx = SearchCtx {
-        lp: &lp,
-        root_lb: &root_lb,
-        root_ub: &root_ub,
-        int_vars: &int_vars,
-        reduced,
-        cfg,
-        deadline,
-        sign,
-        obj_offset: reduced.obj_offset(),
-    };
+    let obj_offset = reduced.obj_offset();
+    let user_obj = |internal: f64| sign * internal + obj_offset;
 
     // --- Root LP ---
     stats.lp_solves += 1;
@@ -282,6 +326,8 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         }
     };
     stats.simplex_iters += root.iters;
+    stats.phase1_iters += root.phase1_iters;
+    stats.dual_iters += root.dual_iters;
     if root.recoveries > 0 {
         stats.lp_recoveries += 1;
     }
@@ -302,7 +348,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             return Solution {
                 status: Status::LimitNoSolution,
                 objective: f64::INFINITY,
-                best_bound: ctx.user_obj(f64::NEG_INFINITY),
+                best_bound: user_obj(f64::NEG_INFINITY),
                 values: Vec::new(),
                 stats,
                 error: None,
@@ -350,6 +396,36 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         }
     }
 
+    // --- Root reduced-cost fixing ---
+    // With an incumbent in hand the root reduced costs bound how far any
+    // nonbasic integer can move in a better solution; pull the opposite
+    // bounds in before the tree search ever sees them.
+    if cfg.reduced_cost_fixing && !int_vars.is_empty() {
+        if let Some((inc_obj, _)) = &incumbent {
+            stats.rc_fixed += fix_by_reduced_costs(
+                &mut root_lb,
+                &mut root_ub,
+                &root.dj,
+                &int_vars,
+                root.obj,
+                *inc_obj,
+            )
+            .len();
+        }
+    }
+
+    let ctx = SearchCtx {
+        lp: &lp,
+        root_lb: &root_lb,
+        root_ub: &root_ub,
+        int_vars: &int_vars,
+        reduced,
+        cfg,
+        deadline,
+        sign,
+        obj_offset,
+    };
+
     // --- Search ---
     let root_node = Node {
         changes: Vec::new(),
@@ -358,9 +434,13 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         warm: Some(Arc::new(root.statuses.clone())),
     };
     let nthreads = cfg.effective_threads();
+    let root_djb = (cfg.reduced_cost_fixing && !int_vars.is_empty())
+        .then_some((root.dj.as_slice(), root.obj));
     let outcome = if nthreads <= 1 || int_vars.is_empty() {
-        search_sequential(&ctx, vec![root_node], incumbent, &mut stats)
+        search_sequential(&ctx, vec![root_node], incumbent, root_djb, &mut stats)
     } else {
+        // Parallel workers reconstruct bounds from the (already root-fixed)
+        // context; incumbent-time refixing is sequential-only.
         search_parallel(&ctx, nthreads, root_node, incumbent, &mut stats)
     };
 
@@ -418,10 +498,15 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
 /// The original single-threaded best-bound-with-plunging loop; this is the
 /// exact `threads: 1` behavior. Accepts multiple open roots so the parallel
 /// search can hand over its surviving node pool after worker panics.
+///
+/// `root_info` carries the root reduced costs and root LP bound; when
+/// present, every incumbent improvement re-runs reduced-cost fixing against
+/// the base bounds all nodes are reconstructed from.
 fn search_sequential(
     ctx: &SearchCtx<'_>,
     roots: Vec<Node>,
     mut incumbent: Option<(f64, Vec<f64>)>,
+    root_info: Option<(&[f64], f64)>,
     stats: &mut Stats,
 ) -> SearchOutcome {
     let cfg = ctx.cfg;
@@ -430,11 +515,21 @@ fn search_sequential(
         heap.push(HeapNode(root));
     }
     let mut pc = PseudoCosts::new(ctx.root_lb.len());
+    // Base bounds shared by every node; tightened further on incumbent
+    // improvements via reduced-cost fixing (globally valid because the
+    // fixing argument uses the root bound and the global incumbent).
+    let mut base_lb = ctx.root_lb.to_vec();
+    let mut base_ub = ctx.root_ub.to_vec();
     let mut lb_buf = ctx.root_lb.to_vec();
     let mut ub_buf = ctx.root_ub.to_vec();
     let mut hit_limit = false;
     let mut dropped_bound = f64::INFINITY;
     let mut plunge_next: Option<Node> = None;
+    // Adaptive dive throttle: each dive that fails to improve the incumbent
+    // doubles the node period before the next one (capped), an improvement
+    // resets it — so dives stop eating wall clock once the tree has a good
+    // incumbent they cannot beat.
+    let mut dive_backoff = 1usize;
 
     'outer: loop {
         // Global bound = min over open nodes (heap top + any plunge node).
@@ -451,7 +546,7 @@ fn search_sequential(
                 break;
             }
         }
-        let node = match plunge_next.take() {
+        let mut node = match plunge_next.take() {
             Some(nd) => nd,
             None => match heap.pop() {
                 Some(HeapNode(nd)) => nd,
@@ -477,9 +572,9 @@ fn search_sequential(
         }
         stats.nodes += 1;
 
-        // Reconstruct bounds.
-        lb_buf.copy_from_slice(ctx.root_lb);
-        ub_buf.copy_from_slice(ctx.root_ub);
+        // Reconstruct bounds from the (possibly rc-tightened) base bounds.
+        lb_buf.copy_from_slice(&base_lb);
+        ub_buf.copy_from_slice(&base_ub);
         for &(j, lo, hi) in &node.changes {
             lb_buf[j] = lb_buf[j].max(lo);
             ub_buf[j] = ub_buf[j].min(hi);
@@ -504,6 +599,8 @@ fn search_sequential(
             }
         };
         stats.simplex_iters += r.iters;
+        stats.phase1_iters += r.phase1_iters;
+        stats.dual_iters += r.dual_iters;
         if r.recoveries > 0 {
             stats.lp_recoveries += 1;
         }
@@ -531,7 +628,7 @@ fn search_sequential(
             }
         }
 
-        match most_fractional(&r.x, ctx.int_vars, cfg.int_tol) {
+        match most_fractional(&r.x, &ctx.lp.c, ctx.int_vars, cfg.int_tol) {
             None => {
                 // Integral: new incumbent.
                 let mut x = r.x.clone();
@@ -549,6 +646,17 @@ fn search_sequential(
                         );
                     }
                     incumbent = Some((obj, x));
+                    if let Some((dj, root_bound)) = root_info {
+                        stats.rc_fixed += fix_by_reduced_costs(
+                            &mut base_lb,
+                            &mut base_ub,
+                            dj,
+                            ctx.int_vars,
+                            root_bound,
+                            obj,
+                        )
+                        .len();
+                    }
                 }
                 continue;
             }
@@ -557,11 +665,37 @@ fn search_sequential(
                 let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
                 let xval = r.x[bvar];
                 let floor = xval.floor();
+                // Node-level reduced-cost fixing: this node's reduced costs
+                // bound the cost of moving any nonbasic integer off its
+                // bound, so against the incumbent the tightening is valid
+                // for the whole subtree — record it on the node so both
+                // children (and the dive below) inherit it. Fractional
+                // variables are basic (dj = 0), so the branch variable is
+                // never touched.
+                if cfg.reduced_cost_fixing {
+                    if let Some((inc_obj, _)) = &incumbent {
+                        let fixed = fix_by_reduced_costs(
+                            &mut lb_buf,
+                            &mut ub_buf,
+                            &r.dj,
+                            ctx.int_vars,
+                            r.obj,
+                            *inc_obj,
+                        );
+                        if !fixed.is_empty() {
+                            stats.rc_fixed += fixed.len();
+                            node.changes.extend_from_slice(&fixed);
+                        }
+                    }
+                }
                 let warm = Arc::new(r.statuses);
                 // Occasional in-tree diving heuristic; dive more eagerly
-                // (and with both strategies) while no incumbent exists.
-                let dive_period = if incumbent.is_some() { 64 } else { 16 };
+                // (and with both strategies) while no incumbent exists, and
+                // back off exponentially while dives keep coming up empty.
+                let dive_period =
+                    if incumbent.is_some() { 64 * dive_backoff } else { 16 };
                 if cfg.heuristics && stats.nodes % dive_period == 1 && stats.nodes > 1 {
+                    let mut improved = false;
                     let strategies: &[heur::DiveStrategy] = if incumbent.is_some() {
                         &[heur::DiveStrategy::NearestInteger]
                     } else {
@@ -588,9 +722,22 @@ fn search_sequential(
                             if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
                                 incumbent = Some((obj, x));
                                 stats.heuristic_solutions += 1;
+                                improved = true;
+                                if let Some((dj, root_bound)) = root_info {
+                                    stats.rc_fixed += fix_by_reduced_costs(
+                                        &mut base_lb,
+                                        &mut base_ub,
+                                        dj,
+                                        ctx.int_vars,
+                                        root_bound,
+                                        obj,
+                                    )
+                                    .len();
+                                }
                             }
                         }
                     }
+                    dive_backoff = if improved { 1 } else { (dive_backoff * 2).min(4) };
                 }
                 let (down_child, up_child) = make_children(&node, bvar, floor, r.obj, warm);
                 // Attribute this node's LP degradation to the parent's
@@ -723,6 +870,9 @@ struct ParShared {
     nodes: AtomicUsize,
     lp_solves: AtomicUsize,
     simplex_iters: AtomicUsize,
+    phase1_iters: AtomicUsize,
+    dual_iters: AtomicUsize,
+    rc_fixed: AtomicUsize,
     heuristic_solutions: AtomicUsize,
     /// A clone of the node each worker is currently processing, so a panic
     /// can re-queue it instead of losing the subtree.
@@ -819,6 +969,9 @@ fn search_parallel(
         nodes: AtomicUsize::new(stats.nodes),
         lp_solves: AtomicUsize::new(0),
         simplex_iters: AtomicUsize::new(0),
+        phase1_iters: AtomicUsize::new(0),
+        dual_iters: AtomicUsize::new(0),
+        rc_fixed: AtomicUsize::new(0),
         heuristic_solutions: AtomicUsize::new(0),
         inflight: (0..nthreads).map(|_| Mutex::new(None)).collect(),
         worker_panics: AtomicUsize::new(0),
@@ -846,6 +999,9 @@ fn search_parallel(
     stats.nodes = shared.nodes.load(AtomicOrdering::SeqCst);
     stats.lp_solves += shared.lp_solves.load(AtomicOrdering::SeqCst);
     stats.simplex_iters += shared.simplex_iters.load(AtomicOrdering::SeqCst);
+    stats.phase1_iters += shared.phase1_iters.load(AtomicOrdering::SeqCst);
+    stats.dual_iters += shared.dual_iters.load(AtomicOrdering::SeqCst);
+    stats.rc_fixed += shared.rc_fixed.load(AtomicOrdering::SeqCst);
     stats.heuristic_solutions += shared.heuristic_solutions.load(AtomicOrdering::SeqCst);
     stats.worker_panics += shared.worker_panics.load(AtomicOrdering::SeqCst);
     stats.dropped_nodes += shared.dropped_nodes.load(AtomicOrdering::SeqCst);
@@ -877,7 +1033,7 @@ fn search_parallel(
         // stats.nodes already carries the parallel phase's count; the
         // sequential loop increments (and checks node_limit against) the
         // cumulative total.
-        let mut outcome = search_sequential(ctx, roots, incumbent, stats);
+        let mut outcome = search_sequential(ctx, roots, incumbent, None, stats);
         outcome.dropped_bound = outcome.dropped_bound.min(dropped_bound);
         return outcome;
     }
@@ -943,9 +1099,10 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
     let mut lb_buf = ctx.root_lb.to_vec();
     let mut ub_buf = ctx.root_ub.to_vec();
     let mut plunge_next: Option<Node> = None;
+    let mut dive_backoff = 1usize;
 
     loop {
-        let node = match plunge_next.take() {
+        let mut node = match plunge_next.take() {
             Some(nd) => {
                 if shared.stop.load(AtomicOrdering::SeqCst) {
                     shared.park_node(nd);
@@ -1021,6 +1178,12 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
         shared
             .simplex_iters
             .fetch_add(r.iters, AtomicOrdering::SeqCst);
+        shared
+            .phase1_iters
+            .fetch_add(r.phase1_iters, AtomicOrdering::SeqCst);
+        shared
+            .dual_iters
+            .fetch_add(r.dual_iters, AtomicOrdering::SeqCst);
         if r.recoveries > 0 {
             shared.lp_recoveries.fetch_add(1, AtomicOrdering::SeqCst);
         }
@@ -1049,7 +1212,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
             continue; // bound-dominated
         }
 
-        match most_fractional(&r.x, ctx.int_vars, cfg.int_tol) {
+        match most_fractional(&r.x, &ctx.lp.c, ctx.int_vars, cfg.int_tol) {
             None => {
                 // Integral: offer as incumbent.
                 let mut x = r.x.clone();
@@ -1072,10 +1235,34 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                 let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
                 let xval = r.x[bvar];
                 let floor = xval.floor();
+                // Node-level reduced-cost fixing against a snapshot of the
+                // shared incumbent; a stale (worse) bound only under-fixes,
+                // so the tightening stays valid under races.
+                if cfg.reduced_cost_fixing {
+                    let inc = shared.incumbent_bound();
+                    if inc.is_finite() {
+                        let fixed = fix_by_reduced_costs(
+                            &mut lb_buf,
+                            &mut ub_buf,
+                            &r.dj,
+                            ctx.int_vars,
+                            r.obj,
+                            inc,
+                        );
+                        if !fixed.is_empty() {
+                            shared.rc_fixed.fetch_add(fixed.len(), AtomicOrdering::SeqCst);
+                            node.changes.extend_from_slice(&fixed);
+                        }
+                    }
+                }
                 let warm = Arc::new(r.statuses);
                 let have_inc = shared.incumbent_bound().is_finite();
-                let dive_period = if have_inc { 64 } else { 16 };
+                // Same adaptive throttle as the sequential search, tracked
+                // per worker: empty dives double the period, a success
+                // resets it.
+                let dive_period = if have_inc { 64 * dive_backoff } else { 16 };
                 if cfg.heuristics && node_idx % dive_period == 1 && node_idx > 1 {
+                    let mut improved = false;
                     let strategies: &[heur::DiveStrategy] = if have_inc {
                         &[heur::DiveStrategy::NearestInteger]
                     } else {
@@ -1103,9 +1290,11 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                                 shared
                                     .heuristic_solutions
                                     .fetch_add(1, AtomicOrdering::SeqCst);
+                                improved = true;
                             }
                         }
                     }
+                    dive_backoff = if improved { 1 } else { (dive_backoff * 2).min(4) };
                 }
                 let (down_child, up_child) = make_children(&node, bvar, floor, r.obj, warm);
                 let parent_frac_gain = (r.obj - node.bound).max(0.0);
@@ -1157,6 +1346,46 @@ mod tests {
 
     fn cfg() -> Config {
         Config::default()
+    }
+
+    #[test]
+    fn most_fractional_breaks_ties_by_objective_magnitude() {
+        // Both variables sit exactly at 0.5; the larger |c| must win.
+        let x = [0.5, 0.5];
+        let c = [1.0, -3.0];
+        let got = most_fractional(&x, &c, &[0, 1], 1e-6);
+        assert_eq!(got, Some((1, 0.5)));
+        // Equal magnitudes: the lower index wins for determinism.
+        let c_eq = [2.0, -2.0];
+        let got = most_fractional(&x, &c_eq, &[0, 1], 1e-6);
+        assert_eq!(got, Some((0, 0.5)));
+        // No tie: fractionality still dominates the coefficient.
+        let x2 = [0.5, 0.9];
+        let got = most_fractional(&x2, &c, &[0, 1], 1e-6);
+        assert_eq!(got, Some((0, 0.5)));
+    }
+
+    #[test]
+    fn reduced_cost_fixing_tightens_and_respects_gap() {
+        // gap = 10 - 8 = 2; d = 3 allows floor((2+eps)/3) = 0 above lb.
+        let mut lb = vec![0.0, 0.0, 0.0];
+        let mut ub = vec![10.0, 10.0, 10.0];
+        let dj = [3.0, -3.0, 0.1];
+        let fixed = fix_by_reduced_costs(&mut lb, &mut ub, &dj, &[0, 1, 2], 8.0, 10.0);
+        assert_eq!(fixed.len(), 2);
+        assert_eq!(ub[0], 0.0); // at-lower var pinned to its bound
+        assert_eq!(lb[1], 10.0); // at-upper var pinned to its bound
+        assert_eq!((lb[2], ub[2]), (0.0, 10.0)); // small |d|: gap/d >= span
+        // The returned tightenings mirror the in-place updates, one-sided.
+        assert_eq!(fixed[0], (0, f64::NEG_INFINITY, 0.0));
+        assert_eq!(fixed[1], (1, 10.0, f64::INFINITY));
+        // Infinite gap (no incumbent bound) must never fix anything.
+        let mut lb2 = vec![0.0];
+        let mut ub2 = vec![1.0];
+        assert!(
+            fix_by_reduced_costs(&mut lb2, &mut ub2, &[5.0], &[0], f64::NEG_INFINITY, 1.0)
+                .is_empty()
+        );
     }
 
     #[test]

@@ -15,6 +15,31 @@ pub enum Branching {
     PseudoCost,
 }
 
+/// LP reoptimization strategy for warm-started node solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReoptMode {
+    /// Dual simplex when the warm basis is dual-feasible (the common case
+    /// after a branching bound change), primal otherwise (default).
+    #[default]
+    Auto,
+    /// Always try the dual simplex first on warm-started solves.
+    Dual,
+    /// Never use the dual simplex; re-solve with primal phase 1 + 2.
+    Primal,
+}
+
+/// Simplex pricing rule for entering-variable selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Devex reference-weight pricing (default): approximates steepest-edge
+    /// step quality and sharply cuts iteration counts on degenerate routing
+    /// LPs. Bland's rule still takes over as the anti-cycling fallback.
+    #[default]
+    Devex,
+    /// Classic Dantzig most-negative-reduced-cost pricing.
+    Dantzig,
+}
+
 /// Node selection strategy for the branch-and-bound search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NodeSelection {
@@ -67,6 +92,15 @@ pub struct Config {
     pub branching: Branching,
     /// Node selection rule.
     pub node_selection: NodeSelection,
+    /// Warm-start reoptimization strategy ([`ReoptMode::Auto`] tries the
+    /// dual simplex whenever the inherited basis is dual-feasible).
+    pub reopt: ReoptMode,
+    /// Entering-variable pricing rule for the primal simplex.
+    pub pricing: PricingRule,
+    /// Fix nonbasic integer variables whose reduced cost exceeds the
+    /// primal–dual gap (at the root and, in the sequential search, on
+    /// incumbent improvements).
+    pub reduced_cost_fixing: bool,
     /// Run the presolver before solving.
     pub presolve: bool,
     /// Run primal rounding/diving heuristics during branch and bound.
@@ -105,6 +139,9 @@ impl Default for Config {
             refactor_interval: 64,
             branching: Branching::default(),
             node_selection: NodeSelection::default(),
+            reopt: ReoptMode::default(),
+            pricing: PricingRule::default(),
+            reduced_cost_fixing: true,
             presolve: true,
             heuristics: true,
             verbose: false,
@@ -164,6 +201,24 @@ impl Config {
         self
     }
 
+    /// Sets the warm-start reoptimization strategy.
+    pub fn with_reopt(mut self, mode: ReoptMode) -> Self {
+        self.reopt = mode;
+        self
+    }
+
+    /// Sets the simplex pricing rule.
+    pub fn with_pricing(mut self, rule: PricingRule) -> Self {
+        self.pricing = rule;
+        self
+    }
+
+    /// Enables or disables reduced-cost variable fixing.
+    pub fn with_reduced_cost_fixing(mut self, on: bool) -> Self {
+        self.reduced_cost_fixing = on;
+        self
+    }
+
     /// Attaches a cooperative cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
@@ -212,6 +267,22 @@ mod tests {
         assert!(!cfg.presolve);
         assert!(!cfg.heuristics);
         assert!(cfg.verbose);
+    }
+
+    #[test]
+    fn reopt_and_pricing_builders() {
+        let cfg = Config::new()
+            .with_reopt(ReoptMode::Primal)
+            .with_pricing(PricingRule::Dantzig)
+            .with_reduced_cost_fixing(false);
+        assert_eq!(cfg.reopt, ReoptMode::Primal);
+        assert_eq!(cfg.pricing, PricingRule::Dantzig);
+        assert!(!cfg.reduced_cost_fixing);
+        // defaults: dual reoptimization + Devex + fixing on
+        let d = Config::default();
+        assert_eq!(d.reopt, ReoptMode::Auto);
+        assert_eq!(d.pricing, PricingRule::Devex);
+        assert!(d.reduced_cost_fixing);
     }
 
     #[test]

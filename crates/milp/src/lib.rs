@@ -53,7 +53,7 @@ pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
-pub use config::{Branching, Config, NodeSelection};
+pub use config::{Branching, Config, NodeSelection, PricingRule, ReoptMode};
 pub use error::{CancelToken, FaultInjection, SolveError};
 pub use problem::{Problem, Row, RowId, Sense, Var, VarId, VarType};
 pub use solution::{Solution, Stats, Status};

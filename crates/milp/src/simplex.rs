@@ -1,4 +1,5 @@
-//! Bounded-variable revised primal simplex with a composite Phase 1.
+//! Bounded-variable revised simplex: primal with a composite Phase 1, plus
+//! a dual simplex for warm-started reoptimization.
 //!
 //! The LP is held in the computational form
 //!
@@ -11,8 +12,19 @@
 //! every row. The initial basis is the (always nonsingular) slack basis;
 //! Phase 1 minimizes the sum of bound violations of basic variables using the
 //! standard composite cost vector, and Phase 2 runs the classic revised
-//! simplex with Dantzig pricing, a bound-flip-aware ratio test, and Bland's
-//! rule as an anti-cycling fallback.
+//! simplex with Devex pricing (Dantzig optional), a bound-flip-aware ratio
+//! test, and Bland's rule as an anti-cycling fallback.
+//!
+//! When a warm-start basis is supplied and only variable bounds changed
+//! since it was optimal (the branch-and-bound child-node case), the basis
+//! is still **dual-feasible**, and the solver runs the **dual simplex**
+//! instead of primal Phase 1: it picks the most bound-violating basic
+//! variable (dual Devex row weights), runs a bound-flipping dual ratio
+//! test over the pivot row, and pivots until primal feasibility is
+//! restored — typically a handful of pivots instead of a full cold solve.
+//! Any loss of dual feasibility (repaired statuses, numerical drift) makes
+//! it fall back to the primal path, so the dual method is an accelerator,
+//! never a correctness dependency.
 //!
 //! Numerical failures are recovered in-solver before surfacing: a singular
 //! factorization triggers a refactorize / slack-basis reset, a persistent
@@ -20,7 +32,7 @@
 //! with seeded cost perturbations. Only when all rungs fail does
 //! [`solve_lp`] return a [`SolveError`].
 
-use crate::config::Config;
+use crate::config::{Config, PricingRule, ReoptMode};
 use crate::error::SolveError;
 use crate::lu::{Factorization, LuError};
 use crate::sparse::CscMatrix;
@@ -61,11 +73,19 @@ pub struct LpResult {
     pub obj: f64,
     /// Values of the structural variables (length = number of columns of A).
     pub x: Vec<f64>,
-    /// Simplex iterations used (both phases).
+    /// Simplex iterations used (all phases, dual included).
     pub iters: usize,
+    /// Iterations spent in primal Phase 1 (feasibility restoration).
+    pub phase1_iters: usize,
+    /// Iterations spent in the dual simplex reoptimizer.
+    pub dual_iters: usize,
     /// Final basis statuses over structural + slack variables; reusable as a
     /// warm start for a subsequent solve with modified bounds.
     pub statuses: Vec<VStat>,
+    /// Reduced costs of the structural variables at termination (zero for
+    /// basic and fixed variables). Meaningful when `status == Optimal`;
+    /// used for reduced-cost variable fixing in branch and bound.
+    pub dj: Vec<f64>,
     /// Recovery rungs consumed before this result was produced (0 = clean
     /// solve, 1 = Bland's-rule restart, 2 = perturb-and-retry).
     pub recoveries: usize,
@@ -124,6 +144,8 @@ struct Engine<'a> {
     fact: Factorization,
     cfg: &'a Config,
     iters: usize,
+    phase1_iters: usize,
+    dual_iters: usize,
     degenerate_run: usize,
     deadline: Option<Instant>,
     /// Recovery rung: forces Bland's rule from the first iteration.
@@ -134,6 +156,14 @@ struct Engine<'a> {
     slack_resets: usize,
     /// Last factorization failure, kept for error reporting.
     last_lu: Option<LuError>,
+    /// Primal Devex reference weights over all variables (reset to 1 with
+    /// every basis install).
+    devex: Vec<f64>,
+    /// Dual Devex row weights over basis positions.
+    dual_devex: Vec<f64>,
+    /// Reduced costs captured during the last complete Phase-2 pricing
+    /// pass (zero at basic/fixed entries).
+    dj: Vec<f64>,
 }
 
 enum Pricing {
@@ -145,6 +175,19 @@ enum Ratio {
     BoundFlip { t: f64 },
     Pivot { t: f64, leave_pos: usize, leave_to_upper: bool },
     Unbounded,
+}
+
+/// Terminating condition of a dual-simplex run.
+enum DualRun {
+    /// Primal feasibility restored; Phase 2 will certify optimality.
+    Feasible,
+    /// Dual unbounded: the primal LP is infeasible.
+    Infeasible,
+    /// Deadline / iteration limit reached.
+    Limit,
+    /// The dual method cannot (or should not) continue from this basis;
+    /// the caller falls back to the primal Phase 1 path.
+    Fallback,
 }
 
 impl<'a> Engine<'a> {
@@ -182,11 +225,16 @@ impl<'a> Engine<'a> {
             fact: Factorization::new(m),
             cfg,
             iters: 0,
+            phase1_iters: 0,
+            dual_iters: 0,
             degenerate_run: 0,
             deadline,
             force_bland: false,
             slack_resets: 0,
             last_lu: None,
+            devex: vec![1.0; nn],
+            dual_devex: vec![1.0; m],
+            dj: vec![0.0; nn],
         }
     }
 
@@ -237,8 +285,12 @@ impl<'a> Engine<'a> {
     }
 
     /// Installs a warm-start status vector if it is usable, else the slack
-    /// basis. Errs only when even the slack basis fails to factorize.
-    fn install(&mut self, warm: Option<&[VStat]>) -> Result<(), SolveError> {
+    /// basis. Returns whether the warm basis was installed (so the caller
+    /// knows a dual-feasible start may be available). Errs only when even
+    /// the slack basis fails to factorize.
+    fn install(&mut self, warm: Option<&[VStat]>) -> Result<bool, SolveError> {
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
+        self.dual_devex.iter_mut().for_each(|w| *w = 1.0);
         if let Some(w) = warm {
             if w.len() == self.nn && w.iter().filter(|s| **s == VStat::Basic).count() == self.m {
                 self.basis.clear();
@@ -265,7 +317,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 if self.refactorize() {
-                    return Ok(());
+                    return Ok(true);
                 }
             }
         }
@@ -273,7 +325,7 @@ impl<'a> Engine<'a> {
         if self.refactorize() || self.refactorize() {
             // The slack basis is -I and can only fail under injection or a
             // broken workspace; one retry absorbs a single injected fault.
-            return Ok(());
+            return Ok(false);
         }
         Err(self
             .last_lu
@@ -355,8 +407,10 @@ impl<'a> Engine<'a> {
     }
 
     /// Computes reduced costs via btran and picks an entering variable.
-    /// `phase1` selects the composite infeasibility costs.
-    fn price(&self, phase1: bool, bland: bool) -> Pricing {
+    /// `phase1` selects the composite infeasibility costs. Phase-2 passes
+    /// also record the reduced costs in `self.dj` so a terminating
+    /// (complete) pass leaves them valid for reduced-cost fixing.
+    fn price(&mut self, phase1: bool, bland: bool) -> Pricing {
         let t = self.cfg.feas_tol;
         let mut cb = vec![0.0; self.m];
         let mut any_cost = false;
@@ -384,6 +438,12 @@ impl<'a> Engine<'a> {
         self.fact.btran(&mut cb); // now y in row space
         let y = cb;
         let otol = self.cfg.opt_tol;
+        let devex = self.cfg.pricing == PricingRule::Devex && !bland;
+        if !phase1 {
+            // Fresh capture per pass: entries not reached (early Bland
+            // return) stay zero, which is always safe for fixing.
+            self.dj.iter_mut().for_each(|d| *d = 0.0);
+        }
         let mut best: Option<(usize, f64, f64)> = None; // (j, dir, score)
         for j in 0..self.nn {
             let st = self.status[j];
@@ -400,6 +460,9 @@ impl<'a> Engine<'a> {
                 -y[j - self.n]
             };
             let d = cj - ay;
+            if !phase1 {
+                self.dj[j] = d;
+            }
             let (attractive, dir) = match st {
                 VStat::AtLower => (d < -otol, 1.0),
                 VStat::AtUpper => (d > otol, -1.0),
@@ -410,7 +473,7 @@ impl<'a> Engine<'a> {
                 if bland {
                     return Pricing::Entering { j, dir };
                 }
-                let score = d.abs();
+                let score = if devex { d * d / self.devex[j] } else { d.abs() };
                 if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((j, dir, score));
                 }
@@ -499,6 +562,343 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Updates the primal Devex reference weights after variable `j` is
+    /// chosen to enter at basis position `leave_pos` with ftran'd column
+    /// `w`. Must run *before* the basis swap and eta update: the pivot row
+    /// `rho = B^-T e_r` is taken from the pre-pivot factorization, and the
+    /// leaving variable is still `basis[leave_pos]`.
+    fn update_devex(&mut self, j: usize, leave_pos: usize, w: &[f64]) {
+        let alpha_q = w[leave_pos];
+        if alpha_q.abs() < 1e-12 {
+            return;
+        }
+        let gamma_q = self.devex[j].max(1.0);
+        let mut rho = vec![0.0; self.m];
+        rho[leave_pos] = 1.0;
+        self.fact.btran(&mut rho);
+        let mut maxw = 1.0f64;
+        for k in 0..self.nn {
+            if self.status[k] == VStat::Basic || k == j || self.lb[k] == self.ub[k] {
+                continue;
+            }
+            let alpha_k = if k < self.n {
+                self.lp.a.col_dot(k, &rho)
+            } else {
+                -rho[k - self.n]
+            };
+            if alpha_k != 0.0 {
+                let r = alpha_k / alpha_q;
+                let cand = r * r * gamma_q;
+                if cand > self.devex[k] {
+                    self.devex[k] = cand;
+                }
+            }
+            maxw = maxw.max(self.devex[k]);
+        }
+        let leaving = self.basis[leave_pos];
+        self.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+        if maxw > 1e8 {
+            // Weights have drifted far from the reference framework; restart
+            // it (the classic Devex reset).
+            self.devex.iter_mut().for_each(|g| *g = 1.0);
+        }
+    }
+
+    /// Whether the current basis is dual-feasible: every nonbasic reduced
+    /// cost has the sign its status requires (within a relaxed tolerance).
+    fn dual_feasible(&self) -> bool {
+        let mut y = vec![0.0; self.m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            y[i] = self.cost[j];
+        }
+        self.fact.btran(&mut y);
+        let tol = self.cfg.opt_tol * 10.0;
+        for j in 0..self.nn {
+            let st = self.status[j];
+            if st == VStat::Basic || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let ay = if j < self.n {
+                self.lp.a.col_dot(j, &y)
+            } else {
+                -y[j - self.n]
+            };
+            let d = self.cost[j] - ay;
+            let bad = match st {
+                VStat::AtLower => d < -tol,
+                VStat::AtUpper => d > tol,
+                VStat::Free => d.abs() > tol,
+                VStat::Basic => unreachable!(),
+            };
+            if bad {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dual simplex: starting from a dual-feasible basis whose primal values
+    /// violate some bounds (the warm-started child-node case), repeatedly
+    /// drops the most violating basic variable (scaled by dual Devex row
+    /// weights) and lets a bound-flipping dual ratio test choose the
+    /// entering column, until primal feasibility is restored.
+    fn iterate_dual(&mut self) -> Result<DualRun, SolveError> {
+        let piv_tol = 1e-9;
+        let t_feas = self.cfg.feas_tol;
+        let mut colbuf: Vec<(usize, f64)> = Vec::new();
+        let mut since_recompute = 0usize;
+        let mut singular_retries = 0usize;
+        loop {
+            if let Some(limit) = self.cfg.iter_limit {
+                if self.iters >= limit {
+                    return Ok(DualRun::Limit);
+                }
+            }
+            if self.iters.is_multiple_of(64) && self.out_of_time() {
+                return Ok(DualRun::Limit);
+            }
+            if self.degenerate_run > Self::STALL_LIMIT {
+                return Ok(DualRun::Fallback);
+            }
+            // Leaving variable: largest violation^2 / devex weight.
+            let mut leave: Option<(usize, f64, f64, f64)> = None; // (pos, viol, sigma, score)
+            for (i, &bj) in self.basis.iter().enumerate() {
+                let v = self.x[bj];
+                let (viol, sigma) = if v < self.lb[bj] - t_feas {
+                    (self.lb[bj] - v, -1.0)
+                } else if v > self.ub[bj] + t_feas {
+                    (v - self.ub[bj], 1.0)
+                } else {
+                    continue;
+                };
+                let score = viol * viol / self.dual_devex[i];
+                if leave.is_none_or(|(_, _, _, s)| score > s) {
+                    leave = Some((i, viol, sigma, score));
+                }
+            }
+            let Some((leave_pos, viol, sigma, _)) = leave else {
+                return Ok(DualRun::Feasible); // primal feasible
+            };
+            // Pivot row rho = B^-T e_r and duals y = B^-T c_B; one matrix
+            // pass below computes both alpha_j = rho.A_j and d_j.
+            let mut rho = vec![0.0; self.m];
+            rho[leave_pos] = 1.0;
+            self.fact.btran(&mut rho);
+            let mut y = vec![0.0; self.m];
+            for (i, &bj) in self.basis.iter().enumerate() {
+                y[i] = self.cost[bj];
+            }
+            self.fact.btran(&mut y);
+            // Dual ratio test candidates: (ratio, j, abar, d).
+            let mut cands: Vec<(f64, usize, f64, f64)> = Vec::new();
+            for j in 0..self.nn {
+                let st = self.status[j];
+                if st == VStat::Basic || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let (alpha, ay) = if j < self.n {
+                    (self.lp.a.col_dot(j, &rho), self.lp.a.col_dot(j, &y))
+                } else {
+                    (-rho[j - self.n], -y[j - self.n])
+                };
+                let abar = sigma * alpha;
+                let d = self.cost[j] - ay;
+                let eligible = match st {
+                    VStat::AtLower => abar > piv_tol,
+                    VStat::AtUpper => abar < -piv_tol,
+                    VStat::Free => abar.abs() > piv_tol,
+                    VStat::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = if abar > 0.0 {
+                    d.max(0.0) / abar
+                } else {
+                    (-d).max(0.0) / (-abar)
+                };
+                cands.push((ratio, j, abar, d));
+            }
+            if cands.is_empty() {
+                // Dual unbounded: no column can absorb the violation, the
+                // primal LP is infeasible.
+                return Ok(DualRun::Infeasible);
+            }
+            let anti_cycle = self.degenerate_run > 200;
+            cands.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        if anti_cycle {
+                            a.1.cmp(&b.1) // Bland-style: lowest index
+                        } else {
+                            // prefer large pivots for stability
+                            b.2.abs()
+                                .partial_cmp(&a.2.abs())
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        }
+                    })
+            });
+            // Bound-flipping walk: while the remaining violation survives
+            // flipping a boxed candidate to its other bound, flip it and
+            // keep looking; the blocking candidate enters the basis.
+            let mut remaining = viol;
+            let mut enter: Option<(usize, f64)> = None; // (j, abar)
+            let mut flips: Vec<usize> = Vec::new();
+            for &(_, j, abar, _) in &cands {
+                let span = self.ub[j] - self.lb[j];
+                if span.is_finite() && remaining - span * abar.abs() > t_feas {
+                    remaining -= span * abar.abs();
+                    flips.push(j);
+                } else {
+                    enter = Some((j, abar));
+                    break;
+                }
+            }
+            let Some((j_enter, _)) = enter else {
+                // Every candidate flipped yet violation persists: infeasible.
+                return Ok(DualRun::Infeasible);
+            };
+            // Apply the accumulated bound flips with one aggregated ftran:
+            // x_B -= B^-1 (sum_j A_j delta_j).
+            if !flips.is_empty() {
+                let mut rhs = vec![0.0; self.m];
+                for &j in &flips {
+                    let (old, new_st) = match self.status[j] {
+                        VStat::AtLower => (self.lb[j], VStat::AtUpper),
+                        VStat::AtUpper => (self.ub[j], VStat::AtLower),
+                        _ => continue, // free variables have no other bound
+                    };
+                    self.status[j] = new_st;
+                    let delta = self.nonbasic_value(j) - old;
+                    self.x[j] += delta;
+                    if delta != 0.0 {
+                        if j < self.n {
+                            self.lp.a.axpy_col(j, delta, &mut rhs);
+                        } else {
+                            rhs[j - self.n] -= delta;
+                        }
+                    }
+                }
+                self.fact.ftran(&mut rhs);
+                for (i, &bj) in self.basis.iter().enumerate() {
+                    self.x[bj] -= rhs[i];
+                }
+            }
+            // Entering column and step length to land the leaving variable
+            // exactly on its violated bound.
+            self.column(j_enter, &mut colbuf);
+            let mut w = vec![0.0; self.m];
+            for &(r, v) in &colbuf {
+                w[r] = v;
+            }
+            self.fact.ftran(&mut w);
+            if w[leave_pos].abs() < piv_tol {
+                // Numerical disagreement between the pivot row and the
+                // ftran'd column; refresh the factorization and retry.
+                singular_retries += 1;
+                if singular_retries > 3 || !self.refactorize() {
+                    return Ok(DualRun::Fallback);
+                }
+                self.compute_basics();
+                continue;
+            }
+            let leaving = self.basis[leave_pos];
+            let target = if sigma > 0.0 {
+                self.ub[leaving]
+            } else {
+                self.lb[leaving]
+            };
+            let dir = match self.status[j_enter] {
+                VStat::AtLower => 1.0,
+                VStat::AtUpper => -1.0,
+                _ => {
+                    if (self.x[leaving] - target) / w[leave_pos] >= 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+            };
+            let t = ((self.x[leaving] - target) / (dir * w[leave_pos])).max(0.0);
+            if t <= 1e-11 && flips.is_empty() {
+                self.degenerate_run += 1;
+            } else {
+                self.degenerate_run = 0;
+            }
+            self.apply_step(j_enter, dir, t, &w);
+            // Dual Devex row-weight update from the entering column (done
+            // before the basis swap so weights still index the old basis).
+            let alpha_r = w[leave_pos];
+            let w_r = self.dual_devex[leave_pos].max(1.0);
+            let mut maxw = 1.0f64;
+            for (i, &wi) in w.iter().enumerate() {
+                if i == leave_pos || wi == 0.0 {
+                    continue;
+                }
+                let r = wi / alpha_r;
+                let cand = r * r * w_r;
+                if cand > self.dual_devex[i] {
+                    self.dual_devex[i] = cand;
+                }
+                maxw = maxw.max(self.dual_devex[i]);
+            }
+            self.dual_devex[leave_pos] = (w_r / (alpha_r * alpha_r)).max(1.0);
+            if maxw > 1e8 {
+                self.dual_devex.iter_mut().for_each(|g| *g = 1.0);
+            }
+            // Basis swap.
+            self.status[leaving] = if sigma > 0.0 {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower
+            };
+            self.x[leaving] = self.nonbasic_value(leaving);
+            self.pos[leaving] = usize::MAX;
+            self.basis[leave_pos] = j_enter;
+            self.pos[j_enter] = leave_pos;
+            self.status[j_enter] = VStat::Basic;
+            if self.fact.eta_count() >= self.cfg.refactor_interval
+                || self.fact.update(leave_pos, &w).is_err()
+            {
+                if !self.refactorize() {
+                    // Singular after the swap: rebuild the slack basis (it
+                    // is not dual-feasible, so hand control to primal).
+                    self.slack_resets += 1;
+                    if self.slack_resets > 3 {
+                        return Err(self
+                            .last_lu
+                            .clone()
+                            .map(SolveError::from)
+                            .unwrap_or(SolveError::SingularBasis { position: 0 }));
+                    }
+                    self.slack_basis();
+                    if !self.refactorize() && !self.refactorize() {
+                        return Err(self
+                            .last_lu
+                            .clone()
+                            .map(SolveError::from)
+                            .unwrap_or(SolveError::SingularBasis { position: 0 }));
+                    }
+                    self.compute_basics();
+                    return Ok(DualRun::Fallback);
+                }
+                self.compute_basics();
+                since_recompute = 0;
+            }
+            self.iters += 1;
+            self.dual_iters += 1;
+            since_recompute += 1;
+            if since_recompute >= 512 {
+                self.compute_basics();
+                since_recompute = 0;
+                if !self.x.iter().all(|v| v.is_finite()) {
+                    return Err(SolveError::NumericBlowup);
+                }
+            }
+        }
+    }
+
     fn out_of_time(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d) || self.cfg.is_cancelled()
     }
@@ -581,6 +981,9 @@ impl<'a> Engine<'a> {
                         self.degenerate_run = 0;
                     }
                     self.apply_step(j, dir, t, &w);
+                    if !bland && self.cfg.pricing == PricingRule::Devex {
+                        self.update_devex(j, leave_pos, &w);
+                    }
                     let leaving = self.basis[leave_pos];
                     self.status[leaving] = if leave_to_upper {
                         VStat::AtUpper
@@ -630,6 +1033,9 @@ impl<'a> Engine<'a> {
                 }
             }
             self.iters += 1;
+            if phase1 {
+                self.phase1_iters += 1;
+            }
             since_recompute += 1;
             if since_recompute >= 512 {
                 // periodic accuracy refresh
@@ -652,7 +1058,10 @@ impl<'a> Engine<'a> {
             obj: self.objective(),
             x: self.x[..self.n].to_vec(),
             iters: self.iters,
+            phase1_iters: self.phase1_iters,
+            dual_iters: self.dual_iters,
             statuses: self.status.clone(),
+            dj: self.dj[..self.n].to_vec(),
             recoveries: 0,
         }
     }
@@ -690,22 +1099,45 @@ fn solve_lp_attempt(
             eng.cost[j] = c + 1e-7 * (hash01(seed, j) - 0.5) * (1.0 + c.abs());
         }
     }
-    eng.install(warm)?;
+    let used_warm = eng.install(warm)?;
     eng.compute_basics();
 
+    let infeas_tol = cfg.feas_tol * (1.0 + eng.m as f64);
+    let mut need_phase1 = eng.infeasibility() > infeas_tol;
+    // Dual reoptimization: a warm basis that was optimal before a bound
+    // change is still dual-feasible, so the dual simplex restores primal
+    // feasibility in a few pivots instead of a full primal Phase 1. Only
+    // attempted on the clean rung (no Bland forcing, no perturbation); any
+    // trouble falls back to the primal path below.
+    let try_dual = match cfg.reopt {
+        ReoptMode::Primal => false,
+        ReoptMode::Auto => used_warm,
+        ReoptMode::Dual => true,
+    };
+    if need_phase1 && try_dual && !force_bland && perturb_seed.is_none() && eng.dual_feasible() {
+        match eng.iterate_dual()? {
+            DualRun::Feasible => need_phase1 = false,
+            DualRun::Infeasible => return Ok(eng.result(LpStatus::Infeasible)),
+            DualRun::Limit => return Ok(eng.result(LpStatus::Limit)),
+            DualRun::Fallback => need_phase1 = eng.infeasibility() > infeas_tol,
+        }
+    }
     // Phase 1 if needed.
-    if eng.infeasibility() > cfg.feas_tol * (1.0 + eng.m as f64) {
+    if need_phase1 {
         match eng.iterate(true)? {
             LpStatus::Optimal => {}
             s => return Ok(eng.result(s)),
         }
     }
-    // Phase 2.
+    // Phase 2 (after a successful dual run this certifies optimality in a
+    // single pricing pass and captures the reduced costs).
     let status = eng.iterate(false)?;
     let mut r = eng.result(status);
     if perturb_seed.is_some() {
-        // Report the unperturbed objective.
+        // Report the unperturbed objective; the perturbed reduced costs are
+        // zeroed out so downstream fixing never trusts them.
         r.obj = (0..lp.num_vars()).map(|j| lp.c[j] * r.x[j]).sum();
+        r.dj.iter_mut().for_each(|d| *d = 0.0);
     }
     Ok(r)
 }
@@ -745,7 +1177,10 @@ pub fn solve_lp(
                 obj: f64::INFINITY,
                 x: Vec::new(),
                 iters: 0,
+                phase1_iters: 0,
+                dual_iters: 0,
                 statuses: Vec::new(),
+                dj: Vec::new(),
                 recoveries: 0,
             });
         }

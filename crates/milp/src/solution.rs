@@ -50,8 +50,16 @@ pub struct Stats {
     pub nodes: usize,
     /// Total simplex iterations across all LP solves.
     pub simplex_iters: usize,
+    /// Simplex iterations spent in primal Phase 1 (feasibility restoration);
+    /// warm starts that dual-reoptimize successfully contribute none.
+    pub phase1_iters: usize,
+    /// Simplex iterations spent in the dual-simplex reoptimizer.
+    pub dual_iters: usize,
     /// Number of LP relaxations solved.
     pub lp_solves: usize,
+    /// Integer variable bounds tightened by reduced-cost fixing (at the
+    /// root and on incumbent improvements).
+    pub rc_fixed: usize,
     /// Incumbents found by heuristics (as opposed to node LPs).
     pub heuristic_solutions: usize,
     /// Wall-clock time of the whole solve.

@@ -1,0 +1,253 @@
+//! Dual-simplex reoptimization tests.
+//!
+//! Warm-started solves after bound changes in *both* directions
+//! (tightening, as in branching, and relaxation, as in backtracking) must
+//! agree with cold primal solves — on raw LPs through [`solve_lp`] and on
+//! full MILPs through the solver facade. The random-knapsack generator and
+//! rounding discipline match `fault_injection.rs` so the instances line up
+//! across suites.
+
+use milp::simplex::{solve_lp, LpData, LpStatus};
+use milp::sparse::TripletBuilder;
+use milp::{Config, PricingRule, Problem, ReoptMode, Row, Sense, Solver, Var, VarId};
+use proptest::prelude::*;
+
+const INF: f64 = f64::INFINITY;
+
+/// min -2x - 3y - z  s.t.  x + y + z <= 6,  x + 2y <= 5  (box bounds per call).
+fn small_lp() -> LpData {
+    let mut b = TripletBuilder::new(2, 3);
+    b.push(0, 0, 1.0);
+    b.push(0, 1, 1.0);
+    b.push(0, 2, 1.0);
+    b.push(1, 0, 1.0);
+    b.push(1, 1, 2.0);
+    LpData {
+        a: b.build(),
+        c: vec![-2.0, -3.0, -1.0],
+        row_lb: vec![-INF, -INF],
+        row_ub: vec![6.0, 5.0],
+    }
+}
+
+#[test]
+fn warm_start_after_bound_tightening_agrees_with_cold() {
+    let lp = small_lp();
+    let dual = Config::default().with_reopt(ReoptMode::Dual);
+    let primal = Config::default().with_reopt(ReoptMode::Primal);
+    let r0 = solve_lp(&lp, &[0.0; 3], &[4.0; 3], &dual, None, None).unwrap();
+    assert_eq!(r0.status, LpStatus::Optimal);
+    // Tighten x <= 1 (the branching case): warm dual vs cold primal.
+    let warm = solve_lp(
+        &lp,
+        &[0.0; 3],
+        &[1.0, 4.0, 4.0],
+        &dual,
+        Some(&r0.statuses),
+        None,
+    )
+    .unwrap();
+    let cold = solve_lp(&lp, &[0.0; 3], &[1.0, 4.0, 4.0], &primal, None, None).unwrap();
+    assert_eq!(warm.status, LpStatus::Optimal);
+    assert_eq!(cold.status, LpStatus::Optimal);
+    assert!(
+        (warm.obj - cold.obj).abs() < 1e-7,
+        "warm {} vs cold {}",
+        warm.obj,
+        cold.obj
+    );
+}
+
+#[test]
+fn warm_start_after_bound_relaxation_agrees_with_cold() {
+    let lp = small_lp();
+    let dual = Config::default().with_reopt(ReoptMode::Dual);
+    let primal = Config::default().with_reopt(ReoptMode::Primal);
+    // Start tight: every variable capped at 1.
+    let tight = solve_lp(&lp, &[0.0; 3], &[1.0; 3], &dual, None, None).unwrap();
+    assert_eq!(tight.status, LpStatus::Optimal);
+    // Relax the caps back to 4: nonbasic-at-upper variables jump to the new
+    // bound, which can push basics out of range — the warm solve must still
+    // land on the cold optimum.
+    let warm = solve_lp(
+        &lp,
+        &[0.0; 3],
+        &[4.0; 3],
+        &dual,
+        Some(&tight.statuses),
+        None,
+    )
+    .unwrap();
+    let cold = solve_lp(&lp, &[0.0; 3], &[4.0; 3], &primal, None, None).unwrap();
+    assert_eq!(warm.status, LpStatus::Optimal);
+    assert!(
+        (warm.obj - cold.obj).abs() < 1e-7,
+        "relaxed warm {} vs cold {}",
+        warm.obj,
+        cold.obj
+    );
+    // And relaxing a lower bound (after a branch-up) works the same way.
+    let up = solve_lp(
+        &lp,
+        &[2.0, 0.0, 0.0],
+        &[4.0; 3],
+        &dual,
+        Some(&cold.statuses),
+        None,
+    )
+    .unwrap();
+    let back = solve_lp(
+        &lp,
+        &[0.0; 3],
+        &[4.0; 3],
+        &dual,
+        Some(&up.statuses),
+        None,
+    )
+    .unwrap();
+    assert_eq!(back.status, LpStatus::Optimal);
+    assert!((back.obj - cold.obj).abs() < 1e-7);
+}
+
+/// A knapsack hard enough to branch for real (same shape as the
+/// fault-injection suite's `hard_knapsack`).
+fn hard_knapsack(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut row = Row::new().le((2 * n) as f64 * 0.6);
+    for i in 0..n {
+        let v = p.add_var(Var::binary().obj(1.0 + ((i * 31) % 11) as f64 / 3.0));
+        row = row.coef(v, 1.0 + ((i * 17) % 7) as f64 / 2.0);
+    }
+    p.add_row(row);
+    p
+}
+
+#[test]
+fn dual_reoptimizer_runs_in_branch_and_bound() {
+    let p = hard_knapsack(18);
+    let auto = Solver::new(Config::default().with_heuristics(false)).solve(&p);
+    let primal = Solver::new(
+        Config::default()
+            .with_heuristics(false)
+            .with_reopt(ReoptMode::Primal),
+    )
+    .solve(&p);
+    assert_eq!(auto.status(), primal.status());
+    assert!((auto.objective() - primal.objective()).abs() < 1e-6);
+    // Child nodes inherit a dual-feasible parent basis, so the default
+    // (Auto) mode must actually exercise the dual path...
+    assert!(
+        auto.stats().dual_iters > 0,
+        "expected dual pivots in the tree search, stats: {:?}",
+        auto.stats()
+    );
+    // ...and the primal-only mode must never report any.
+    assert_eq!(primal.stats().dual_iters, 0);
+}
+
+mod agreement {
+    use super::*;
+
+    /// Same strategy as `fault_injection.rs::determinism::instance`.
+    fn instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+        (3usize..=9).prop_flat_map(|n| {
+            let obj = prop::collection::vec(0.5..6.0f64, n);
+            let wts = prop::collection::vec(0.5..4.0f64, n);
+            (obj, wts, 2.0..10.0f64)
+        })
+    }
+
+    fn build_milp(obj: &[f64], wts: &[f64], cap: f64) -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<VarId> = obj
+            .iter()
+            .map(|&c| p.add_var(Var::binary().obj((c * 8.0).round() / 8.0)))
+            .collect();
+        let mut row = Row::new().le(cap);
+        for (v, &w) in vars.iter().zip(wts) {
+            row = row.coef(*v, (w * 8.0).round() / 8.0);
+        }
+        p.add_row(row);
+        p
+    }
+
+    /// The LP relaxation of the same instance in minimize form.
+    fn build_lp(obj: &[f64], wts: &[f64], cap: f64) -> LpData {
+        let n = obj.len();
+        let mut b = TripletBuilder::new(1, n);
+        for (j, &w) in wts.iter().enumerate() {
+            b.push(0, j, (w * 8.0).round() / 8.0);
+        }
+        LpData {
+            a: b.build(),
+            c: obj.iter().map(|&c| -((c * 8.0).round() / 8.0)).collect(),
+            row_lb: vec![-INF],
+            row_ub: vec![cap],
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Branch-style child solves (down: ub -> 0, up: lb -> 1) via warm
+        /// dual reoptimization must agree with cold primal solves.
+        #[test]
+        fn dual_warm_children_agree_with_cold_primal(
+            (obj, wts, cap) in instance(),
+            branch_var in 0usize..9,
+        ) {
+            let lp = build_lp(&obj, &wts, cap);
+            let n = lp.num_vars();
+            let j = branch_var % n;
+            let lo = vec![0.0; n];
+            let hi = vec![1.0; n];
+            let dual = Config::default().with_reopt(ReoptMode::Dual);
+            let primal = Config::default().with_reopt(ReoptMode::Primal);
+            let root = solve_lp(&lp, &lo, &hi, &dual, None, None).unwrap();
+            prop_assert_eq!(root.status, LpStatus::Optimal);
+
+            let mut hi_down = hi.clone();
+            hi_down[j] = 0.0;
+            let warm = solve_lp(&lp, &lo, &hi_down, &dual, Some(&root.statuses), None).unwrap();
+            let cold = solve_lp(&lp, &lo, &hi_down, &primal, None, None).unwrap();
+            prop_assert_eq!(warm.status, cold.status);
+            if warm.status == LpStatus::Optimal {
+                prop_assert!((warm.obj - cold.obj).abs() < 1e-6,
+                    "down-child warm {} vs cold {}", warm.obj, cold.obj);
+            }
+
+            let mut lo_up = lo.clone();
+            lo_up[j] = 1.0;
+            let warm = solve_lp(&lp, &lo_up, &hi, &dual, Some(&root.statuses), None).unwrap();
+            let cold = solve_lp(&lp, &lo_up, &hi, &primal, None, None).unwrap();
+            prop_assert_eq!(warm.status, cold.status);
+            if warm.status == LpStatus::Optimal {
+                prop_assert!((warm.obj - cold.obj).abs() < 1e-6,
+                    "up-child warm {} vs cold {}", warm.obj, cold.obj);
+            }
+        }
+
+        /// The MILP optimum is invariant under every reoptimization /
+        /// pricing / fixing switch combination.
+        #[test]
+        fn milp_optimum_invariant_under_solver_knobs((obj, wts, cap) in instance()) {
+            let p = build_milp(&obj, &wts, cap);
+            let base = Solver::new(Config::default()).solve(&p);
+            for cfg in [
+                Config::default().with_reopt(ReoptMode::Dual),
+                Config::default().with_reopt(ReoptMode::Primal),
+                Config::default().with_pricing(PricingRule::Dantzig),
+                Config::default().with_reduced_cost_fixing(false),
+            ] {
+                let s = Solver::new(cfg).solve(&p);
+                prop_assert_eq!(base.status(), s.status());
+                if base.status().has_solution() {
+                    prop_assert!(
+                        (base.objective() - s.objective()).abs() < 1e-6,
+                        "default {} vs variant {}", base.objective(), s.objective()
+                    );
+                }
+            }
+        }
+    }
+}

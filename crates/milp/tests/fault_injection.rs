@@ -54,6 +54,32 @@ fn lu_singularity_recovers_to_fault_free_optimum() {
 }
 
 #[test]
+fn lu_singularity_during_dual_reopt_recovers() {
+    // Force the dual reoptimizer (not just Auto) so injected factorization
+    // failures hit its fallback path; the result must match fault-free.
+    let p = hard_knapsack(18);
+    let clean = solve_with(&p, Config::default());
+    assert_eq!(clean.status(), Status::Optimal);
+
+    let faults = FaultInjection::seeded(0xD15EA5E)
+        .lu_singular_on(3)
+        .lu_singular_on(5)
+        .lu_singular_on(9);
+    let cfg = Config::default()
+        .with_reopt(milp::ReoptMode::Dual)
+        .with_faults(faults);
+    let sol = solve_with(&p, cfg);
+    assert_eq!(sol.status(), Status::Optimal);
+    assert!(
+        (sol.objective() - clean.objective()).abs() < 1e-6,
+        "dual-reopt recovery {} vs fault-free {}",
+        sol.objective(),
+        clean.objective()
+    );
+    assert!(p.check_feasible(sol.values(), 1e-6).is_none());
+}
+
+#[test]
 fn worker_panic_preserves_incumbent_and_optimum() {
     let p = hard_knapsack(20);
     let clean = solve_with(&p, Config::default());

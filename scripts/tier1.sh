@@ -4,6 +4,8 @@
 #   1. release build of the whole workspace
 #   2. the root package test suite (fast determinism + integration tests)
 #   3. clippy on every target with warnings promoted to errors
+#   4. perf smoke: the Table 3 [50/20] row must yield a feasible design
+#      within a 30 s solver budget (warns when short of Optimal)
 #
 # Run from the repository root:  ./scripts/tier1.sh
 set -euo pipefail
@@ -23,5 +25,26 @@ cargo test -q -p archex ladder
 
 echo "== tier1: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: perf smoke (table3 [50/20] row, 30 s budget) =="
+# Hard gate: the row must produce a feasible design (an objective) within
+# the 30 s solver budget without crashing, going infeasible, or failing
+# numerically. Solving all the way to Optimal inside 30 s is the
+# aspirational bar, but wall time on this row swings ~2x run-to-run (the
+# solver's diving heuristics are wall-clock-windowed; see README
+# "Parallel solving"), so non-Optimal only warns.
+T3_SMOKE_JSON="$(mktemp)"
+trap 'rm -f "$T3_SMOKE_JSON"' EXIT
+T3_SKIP_FULL=1 T3_ROWS=1 T3_TL=30 T3_THREADS= T3_JSON="$T3_SMOKE_JSON" \
+    cargo run --release -q -p bench --bin table3
+if ! grep -Eq '"kind":"row".*"status":"(Optimal|LimitFeasible)","objective":[0-9]' \
+    "$T3_SMOKE_JSON"; then
+    echo "tier1: perf smoke FAILED — [50/20] row found no feasible design in 30 s:" >&2
+    cat "$T3_SMOKE_JSON" >&2
+    exit 1
+fi
+if ! grep -q '"kind":"row".*"status":"Optimal"' "$T3_SMOKE_JSON"; then
+    echo "tier1: perf smoke WARNING — [50/20] row feasible but not Optimal in 30 s" >&2
+fi
 
 echo "tier1: OK"
