@@ -1,17 +1,21 @@
 //! LP micro-profiler: times the root LP of a data-collection encoding and
 //! its warm restarts, to locate solver hot spots.
+//!
+//! `--cuts` additionally profiles the root cutting-plane loop round by
+//! round: separation time, cuts applied, bound movement, and the dual
+//! pivots each reoptimization cost.
 
 use archex::encode::{encode, EncodeMode};
 use bench::data_collection_workload;
+use milp::cuts::{run_root_cuts, CutContext, CutPool};
 use milp::simplex::{solve_lp, LpData};
 use milp::{Config, ReoptMode, Sense};
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cuts_mode = raw.iter().any(|a| a == "--cuts");
+    let args: Vec<usize> = raw.iter().filter_map(|a| a.parse().ok()).collect();
     let (total, end, k) = if args.len() == 3 {
         (args[0], args[1], args[2])
     } else {
@@ -58,6 +62,45 @@ fn main() {
         r.phase1_iters,
         r.dual_iters
     );
+    // --cuts: profile the root separation loop one round at a time.
+    if cuts_mode {
+        let ctx = CutContext::from_problem(reduced);
+        let mut pool = CutPool::new();
+        let mut cut_lp = lp.clone();
+        let mut root = r.clone();
+        let mut round_cfg = cfg.clone();
+        round_cfg.cuts.max_rounds = 1;
+        let bound0 = root.obj;
+        for round in 1..=cfg.cuts.max_rounds {
+            let before = (root.obj, root.dual_iters, root.iters);
+            let tr = Instant::now();
+            let outc = run_root_cuts(
+                &mut cut_lp, &lb, &ub, &round_cfg, &ctx, &mut root, &mut pool, None,
+            );
+            if outc.applied == 0 {
+                println!("cut round {}: no violated cuts, loop done", round);
+                break;
+            }
+            println!(
+                "cut round {}: {:?}  +{} cuts ({} generated), bound {:.3} -> {:.3}, {} dual pivots",
+                round,
+                tr.elapsed(),
+                outc.applied,
+                outc.generated,
+                before.0,
+                root.obj,
+                root.dual_iters - before.1,
+            );
+        }
+        println!(
+            "cut loop total: {} cuts, {} rows appended, bound {:.3} -> {:.3} ({} extra iters)",
+            pool.applied_len(),
+            cut_lp.num_rows() - lp.num_rows(),
+            bound0,
+            root.obj,
+            root.iters - r.iters,
+        );
+    }
     // warm restart with one integer bound change (mimic a branch)
     let mut lb2 = lb.clone();
     let mut ub2 = ub.clone();

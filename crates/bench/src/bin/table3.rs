@@ -27,7 +27,8 @@
 //! Environment knobs: `T3_TL` (approx solve limit per row, default 240),
 //! `T3_FULL_TL`, `T3_ROWS` (max rows, default 6; `SCALE=paper` runs all
 //! 10 rows at the paper's sizes), `T3_SKIP_FULL=1` (skip the slow
-//! full-encoding solve on row 1 — used by the tier-1 perf smoke).
+//! full-encoding solve on row 1 — used by the tier-1 perf smoke),
+//! `T3_CUTS=0` (skip the cuts-on/cuts-off ablation on the [50/20] row).
 
 use archex::encode::EncodeMode;
 use archex::explore::{encode_only, explore, full_encoding_size_estimate};
@@ -127,6 +128,9 @@ fn main() {
             cons: approx_stats.num_cons,
             pivots: out.stats.simplex_iters,
             phase1_pivots: out.stats.phase1_iters,
+            cuts_applied: out.stats.cuts_applied,
+            cut_rounds: out.stats.cut_rounds,
+            root_gap: out.stats.root_gap,
         });
 
         // --- full encoding: measured when small enough, estimated beyond ---
@@ -177,6 +181,51 @@ fn main() {
     println!("\nExpected shape: approx is 1-2 orders of magnitude smaller and solves,");
     println!("while full enumeration only solves the smallest instance (if at all).");
 
+    // --- Cutting-plane ablation on the [50 / 20] row ---
+    // Same workload solved with root separation on (the default) and off;
+    // the smoke check in tier1.sh asserts cuts tighten the root bound
+    // without costing wall time. `T3_CUTS=0` skips the ablation.
+    if env_usize("T3_CUTS", 1) != 0 {
+        let (total, end) = (50, 20);
+        let w = data_collection_workload(total, end, "cost");
+        println!("\nCut ablation on [{} / {}]:", total, end);
+        for (kind, enabled) in [("cuts_off", false), ("cuts_on", true)] {
+            let mut opts = ExploreOptions::approx(10);
+            opts.solver.time_limit = Some(tl);
+            opts.solver.rel_gap = 0.005;
+            opts.solver.cuts.enabled = enabled;
+            let out = explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
+            println!(
+                "  {:<8}: {:>7.2} s, {:>6} nodes, {:>5} pivots/1k, root gap {:.4}, {} cuts in {} rounds",
+                kind,
+                out.stats.solve_time.as_secs_f64(),
+                out.stats.bb_nodes,
+                out.stats.simplex_iters / 1000,
+                out.stats.root_gap,
+                out.stats.cuts_applied,
+                out.stats.cut_rounds,
+            );
+            records.push(SolverRecord {
+                kind,
+                total,
+                end,
+                threads: opts.solver.threads,
+                effective_threads: opts.solver.effective_threads(),
+                wall_s: out.stats.solve_time.as_secs_f64(),
+                nodes: out.stats.bb_nodes,
+                status: format!("{:?}", out.status),
+                objective: out.design.as_ref().map(|d| d.objective),
+                encode_s: out.stats.encode_time.as_secs_f64(),
+                cons: out.stats.num_cons,
+                pivots: out.stats.simplex_iters,
+                phase1_pivots: out.stats.phase1_iters,
+                cuts_applied: out.stats.cuts_applied,
+                cut_rounds: out.stats.cut_rounds,
+                root_gap: out.stats.root_gap,
+            });
+        }
+    }
+
     // --- Thread-scaling sweep on the largest selected workload ---
     // Prefers the paper's 250/100 instance when it was among the selected
     // rows. `T3_THREADS=` (empty) skips the sweep.
@@ -222,6 +271,9 @@ fn main() {
                     cons: out.stats.num_cons,
                     pivots: out.stats.simplex_iters,
                     phase1_pivots: out.stats.phase1_iters,
+                    cuts_applied: out.stats.cuts_applied,
+                    cut_rounds: out.stats.cut_rounds,
+                    root_gap: out.stats.root_gap,
                 });
             }
         }

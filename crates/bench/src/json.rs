@@ -39,6 +39,13 @@ pub struct SolverRecord {
     /// Pivots spent in primal Phase 1; dual warm-start reoptimization keeps
     /// this small relative to `pivots`.
     pub phase1_pivots: usize,
+    /// Cutting planes appended to the root relaxation.
+    pub cuts_applied: usize,
+    /// Separation rounds run at the root.
+    pub cut_rounds: usize,
+    /// Relative gap between the integer optimum and the root LP bound
+    /// after cut rounds.
+    pub root_gap: f64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -56,7 +63,8 @@ impl SolverRecord {
                 "{{\"kind\":\"{}\",\"total\":{},\"end\":{},\"threads\":{},",
                 "\"effective_threads\":{},\"wall_s\":{},\"nodes\":{},",
                 "\"status\":\"{}\",\"objective\":{},\"encode_s\":{},\"cons\":{},",
-                "\"pivots\":{},\"phase1_pivots\":{}}}"
+                "\"pivots\":{},\"phase1_pivots\":{},",
+                "\"cuts_applied\":{},\"cut_rounds\":{},\"root_gap\":{}}}"
             ),
             self.kind,
             self.total,
@@ -71,6 +79,9 @@ impl SolverRecord {
             self.cons,
             self.pivots,
             self.phase1_pivots,
+            self.cuts_applied,
+            self.cut_rounds,
+            json_f64(self.root_gap),
         )
     }
 }
@@ -209,6 +220,9 @@ mod tests {
             cons: 2685,
             pivots: 900,
             phase1_pivots: 120,
+            cuts_applied: 7,
+            cut_rounds: 2,
+            root_gap: 0.125,
         };
         let s = r.to_json();
         assert!(s.starts_with('{') && s.ends_with('}'));
@@ -216,6 +230,9 @@ mod tests {
         assert!(s.contains("\"objective\":10.000000"));
         assert!(s.contains("\"pivots\":900"));
         assert!(s.contains("\"phase1_pivots\":120"));
+        assert!(s.contains("\"cuts_applied\":7"));
+        assert!(s.contains("\"cut_rounds\":2"));
+        assert!(s.contains("\"root_gap\":0.125000"));
         let r2 = SolverRecord {
             objective: None,
             ..r

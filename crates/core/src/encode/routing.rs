@@ -313,7 +313,9 @@ pub fn encode_approx_with_threads(
                     edges,
                 });
             }
-            enc.model.add_named(
+            // One-candidate-per-route disjunction: annotated as a GUB row
+            // so the solver's clique separator can use it structurally.
+            enc.model.add_gub_named(
                 format!("route_{}_{}_{}", fam.name, src, rep),
                 selector_sum.eq(1.0),
             );

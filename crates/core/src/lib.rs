@@ -1,3 +1,8 @@
+// Production-path code must surface failures through `ExploreError`, not
+// panic; tests are exempt (unwrap on known-good fixtures). Same gate as
+// `milp`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! ArchEx-style architecture exploration core for wireless networks.
 //!
 //! Reproduction of *"Optimized Selection of Wireless Network Topologies and

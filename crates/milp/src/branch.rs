@@ -22,6 +22,7 @@
 //! count. `threads: 1` runs the original single-threaded loop unchanged.
 
 use crate::config::{Branching, Config, NodeSelection};
+use crate::cuts;
 use crate::error::relock;
 use crate::heur;
 use crate::presolve::{presolve, Presolved};
@@ -138,6 +139,14 @@ struct SearchCtx<'a> {
     /// `+1.0` when the user problem minimizes, `-1.0` when it maximizes.
     sign: f64,
     obj_offset: f64,
+    /// Problem structure the separators work from.
+    cut_ctx: &'a cuts::CutContext,
+    /// Shared cut pool; its applied list is append-only and globally
+    /// ordered, so workers can extend local LP copies by prefix.
+    cut_pool: &'a Mutex<cuts::CutPool>,
+    /// Cuts already baked into `lp` (the root cuts); node-level syncing
+    /// starts from this prefix.
+    root_cuts: usize,
 }
 
 // The context crosses scoped-thread boundaries; keep that statically true.
@@ -299,7 +308,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     let c: Vec<f64> = reduced.objective().iter().map(|&v| sign * v).collect();
     let (row_lb, row_ub): (Vec<f64>, Vec<f64>) =
         reduced.row_ids().map(|r| reduced.row_bounds(r)).unzip();
-    let lp = LpData {
+    let mut lp = LpData {
         a: reduced.matrix(),
         c,
         row_lb,
@@ -315,7 +324,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
 
     // --- Root LP ---
     stats.lp_solves += 1;
-    let root = match solve_lp(&lp, &root_lb, &root_ub, cfg, None, deadline) {
+    let mut root = match solve_lp(&lp, &root_lb, &root_ub, cfg, None, deadline) {
         Ok(r) => r,
         Err(e) => {
             // Even the recovery ladder could not solve the root relaxation:
@@ -356,6 +365,40 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         }
         LpStatus::Optimal => {}
     }
+
+    // --- Root cutting planes ---
+    // Separation rounds tighten the relaxation before any branching: each
+    // round appends the pool's surviving cuts and dual-reoptimizes from the
+    // old basis (cut slacks enter basic, which keeps it dual-feasible).
+    // Gomory cuts are derived here, at the root bounds, so every cut below
+    // is globally valid and the pool can be shared across workers.
+    let cut_ctx = cuts::CutContext::from_problem(reduced);
+    let mut cut_pool = cuts::CutPool::new();
+    if cfg.cuts.enabled && !int_vars.is_empty() {
+        let pre = (root.iters, root.phase1_iters, root.dual_iters, root.recoveries);
+        cuts::run_root_cuts(
+            &mut lp,
+            &root_lb,
+            &root_ub,
+            cfg,
+            &cut_ctx,
+            &mut root,
+            &mut cut_pool,
+            deadline,
+        );
+        stats.simplex_iters += root.iters - pre.0;
+        stats.phase1_iters += root.phase1_iters - pre.1;
+        stats.dual_iters += root.dual_iters - pre.2;
+        if root.recoveries > pre.3 {
+            stats.lp_recoveries += 1;
+        }
+        stats.lp_solves += cut_pool.rounds;
+    }
+    let root_cuts = cut_pool.applied_len();
+    // Root LP bound after the cut rounds; the reported root gap measures
+    // the incumbent against this tightened bound.
+    let root_cut_bound = root.obj;
+    let cut_pool = Mutex::new(cut_pool);
 
     // --- Incumbent state (internal minimize sense) ---
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -424,6 +467,9 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         deadline,
         sign,
         obj_offset,
+        cut_ctx: &cut_ctx,
+        cut_pool: &cut_pool,
+        root_cuts,
     };
 
     // --- Search ---
@@ -445,6 +491,12 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     };
 
     // --- Wrap up ---
+    {
+        let pool = relock(&cut_pool);
+        stats.cuts_generated = pool.generated;
+        stats.cuts_applied = pool.applied_len();
+        stats.cut_rounds = pool.rounds;
+    }
     stats.elapsed = start.elapsed();
     if outcome.unbounded {
         return Solution::unbounded(stats);
@@ -456,6 +508,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     match outcome.incumbent {
         Some((obj, x)) => {
             let values = ps.postsolve(&x);
+            stats.root_gap = ((obj - root_cut_bound) / obj.abs().max(1e-10)).max(0.0);
             let bound_internal = if hit_limit || open_bound.is_finite() {
                 open_bound.min(obj)
             } else {
@@ -495,6 +548,43 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
     }
 }
 
+/// Pads a warm-start vector produced against an LP with fewer cut rows:
+/// every appended cut row contributes one slack, and making those slacks
+/// basic keeps the basis square and dual-feasible (see
+/// [`LpData::append_rows`]).
+fn pad_warm(w: &[VStat], nn_now: usize) -> Vec<VStat> {
+    let mut v = Vec::with_capacity(nn_now);
+    v.extend_from_slice(w);
+    v.resize(nn_now, VStat::Basic);
+    v
+}
+
+/// The LP a node should be solved against when node cuts are enabled: a
+/// worker-local clone of the root LP extended with every cut the shared
+/// pool has applied so far. The pool's applied list is append-only and
+/// globally ordered, so the local copy catches up by appending the missing
+/// suffix — row indices never shift and older warm bases stay valid after
+/// [`pad_warm`].
+fn sync_cut_lp<'b>(
+    ctx: &'b SearchCtx<'_>,
+    local_lp: &'b mut Option<LpData>,
+    local_cuts: &mut usize,
+) -> &'b LpData {
+    let pool = relock(ctx.cut_pool);
+    let total = pool.applied_len();
+    if total > *local_cuts {
+        let rows = cuts::cuts_to_rows(&pool.applied()[*local_cuts..]);
+        drop(pool);
+        let lp = local_lp.get_or_insert_with(|| ctx.lp.clone());
+        lp.append_rows(&rows);
+        *local_cuts = total;
+    }
+    match local_lp {
+        Some(lp) => lp,
+        None => ctx.lp,
+    }
+}
+
 /// The original single-threaded best-bound-with-plunging loop; this is the
 /// exact `threads: 1` behavior. Accepts multiple open roots so the parallel
 /// search can hand over its surviving node pool after worker panics.
@@ -530,6 +620,11 @@ fn search_sequential(
     // resets it — so dives stop eating wall clock once the tree has a good
     // incumbent they cannot beat.
     let mut dive_backoff = 1usize;
+    // Node-level cuts (opt-in): local LP copy synced to the shared pool's
+    // applied prefix before each node solve.
+    let node_cuts = cfg.cuts.enabled && cfg.cuts.node_cuts && !ctx.int_vars.is_empty();
+    let mut local_lp: Option<LpData> = None;
+    let mut local_cuts = ctx.root_cuts;
 
     'outer: loop {
         // Global bound = min over open nodes (heap top + any plunge node).
@@ -581,14 +676,22 @@ fn search_sequential(
         }
 
         stats.lp_solves += 1;
-        let r = match solve_lp(
-            ctx.lp,
-            &lb_buf,
-            &ub_buf,
-            cfg,
-            node.warm.as_deref().map(|v| &v[..]),
-            ctx.deadline,
-        ) {
+        let node_lp = if node_cuts {
+            sync_cut_lp(ctx, &mut local_lp, &mut local_cuts)
+        } else {
+            ctx.lp
+        };
+        let nn_now = node_lp.num_vars() + node_lp.num_rows();
+        let padded;
+        let warm: Option<&[VStat]> = match node.warm.as_deref() {
+            Some(w) if w.len() < nn_now => {
+                padded = pad_warm(w, nn_now);
+                Some(&padded)
+            }
+            Some(w) => Some(&w[..]),
+            None => None,
+        };
+        let r = match solve_lp(node_lp, &lb_buf, &ub_buf, cfg, warm, ctx.deadline) {
             Ok(r) => r,
             Err(_) => {
                 // Recovery ladder exhausted on this node: drop its subtree
@@ -661,6 +764,21 @@ fn search_sequential(
                 continue;
             }
             Some((mf_var, mf_frac)) => {
+                // Node-level separation (opt-in): globally valid cover and
+                // clique cuts at this node's fractional point, applied to
+                // future node solves through the shared pool.
+                if node_cuts {
+                    let mut pool = relock(ctx.cut_pool);
+                    cuts::separate_node(
+                        ctx.cut_ctx,
+                        &r.x,
+                        ctx.root_lb,
+                        ctx.root_ub,
+                        &mut pool,
+                        cfg.cuts.max_cuts_per_round,
+                    );
+                    let _ = pool.select(&r.x, &cfg.cuts);
+                }
                 // Choose branching variable.
                 let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
                 let xval = r.x[bvar];
@@ -711,7 +829,7 @@ fn search_sequential(
                         if let Some((obj, x)) = heur::dive_with(
                             strategy,
                             ctx.reduced,
-                            ctx.lp,
+                            node_lp,
                             ctx.int_vars,
                             &lb_buf,
                             &ub_buf,
@@ -1100,6 +1218,11 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
     let mut ub_buf = ctx.root_ub.to_vec();
     let mut plunge_next: Option<Node> = None;
     let mut dive_backoff = 1usize;
+    // Node-level cuts (opt-in): worker-local LP copy synced to the shared
+    // pool's append-only applied prefix before each node solve.
+    let node_cuts = cfg.cuts.enabled && cfg.cuts.node_cuts && !ctx.int_vars.is_empty();
+    let mut local_lp: Option<LpData> = None;
+    let mut local_cuts = ctx.root_cuts;
 
     loop {
         let mut node = match plunge_next.take() {
@@ -1158,14 +1281,22 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
         }
 
         shared.lp_solves.fetch_add(1, AtomicOrdering::SeqCst);
-        let r = match solve_lp(
-            ctx.lp,
-            &lb_buf,
-            &ub_buf,
-            cfg,
-            node.warm.as_deref().map(|v| &v[..]),
-            ctx.deadline,
-        ) {
+        let node_lp = if node_cuts {
+            sync_cut_lp(ctx, &mut local_lp, &mut local_cuts)
+        } else {
+            ctx.lp
+        };
+        let nn_now = node_lp.num_vars() + node_lp.num_rows();
+        let padded;
+        let warm: Option<&[VStat]> = match node.warm.as_deref() {
+            Some(w) if w.len() < nn_now => {
+                padded = pad_warm(w, nn_now);
+                Some(&padded)
+            }
+            Some(w) => Some(&w[..]),
+            None => None,
+        };
+        let r = match solve_lp(node_lp, &lb_buf, &ub_buf, cfg, warm, ctx.deadline) {
             Ok(r) => r,
             Err(_) => {
                 // Recovery ladder exhausted: drop the subtree, keep its
@@ -1232,6 +1363,19 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                 continue;
             }
             Some((mf_var, mf_frac)) => {
+                // Node-level separation (opt-in), as in the sequential loop.
+                if node_cuts {
+                    let mut pool = relock(ctx.cut_pool);
+                    cuts::separate_node(
+                        ctx.cut_ctx,
+                        &r.x,
+                        ctx.root_lb,
+                        ctx.root_ub,
+                        &mut pool,
+                        cfg.cuts.max_cuts_per_round,
+                    );
+                    let _ = pool.select(&r.x, &cfg.cuts);
+                }
                 let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
                 let xval = r.x[bvar];
                 let floor = xval.floor();
@@ -1278,7 +1422,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                         if let Some((obj, x)) = heur::dive_with(
                             strategy,
                             ctx.reduced,
-                            ctx.lp,
+                            node_lp,
                             ctx.int_vars,
                             &lb_buf,
                             &ub_buf,

@@ -54,6 +54,84 @@ pub enum NodeSelection {
     DepthFirst,
 }
 
+/// Cutting-plane configuration: per-separator toggles, round limits, and
+/// the numerical filters of the cut pool.
+///
+/// Cuts are separated in rounds at the root (and, when [`Self::node_cuts`]
+/// is on, at branch-and-bound nodes), appended to the LP, and reoptimized
+/// with the dual simplex. Every cut is a valid inequality for the integer
+/// hull, so any combination of toggles leaves the optimum unchanged — the
+/// knobs only trade separation effort against LP tightness.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Config, CutConfig};
+/// let cfg = Config::default().with_cuts(CutConfig::off());
+/// assert!(!cfg.cuts.enabled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CutConfig {
+    /// Master switch; `false` skips separation entirely.
+    pub enabled: bool,
+    /// Gomory mixed-integer cuts from the optimal root tableau.
+    pub gomory: bool,
+    /// Lifted knapsack cover cuts from all-binary rows.
+    pub cover: bool,
+    /// Clique/GUB cuts from one-candidate-per-route disjunctions and
+    /// pairwise binary conflicts.
+    pub clique: bool,
+    /// Maximum separation rounds at the root.
+    pub max_rounds: usize,
+    /// Maximum cuts applied per round (most violated first).
+    pub max_cuts_per_round: usize,
+    /// Minimum efficacy (violation / coefficient 2-norm) for a cut to be
+    /// applied.
+    pub min_efficacy: f64,
+    /// Maximum |cosine| between two cuts applied in the same round; filters
+    /// near-parallel rows that would degrade the basis conditioning.
+    pub max_parallelism: f64,
+    /// Separate (globally valid cover/clique) cuts at branch-and-bound
+    /// nodes too, sharing one pool across workers. Off by default: the root
+    /// rounds capture most of the benefit at a fraction of the cost.
+    pub node_cuts: bool,
+    /// Maximum number of cuts held in the pool (pending + applied).
+    pub max_pool: usize,
+    /// Pending cuts not selected for this many rounds are evicted.
+    pub max_age: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig {
+            enabled: true,
+            gomory: true,
+            cover: true,
+            clique: true,
+            max_rounds: 4,
+            max_cuts_per_round: 50,
+            min_efficacy: 1e-4,
+            max_parallelism: 0.999,
+            node_cuts: false,
+            max_pool: 2000,
+            max_age: 3,
+        }
+    }
+}
+
+impl CutConfig {
+    /// A configuration with every separator disabled (cuts-off ablation).
+    pub fn off() -> Self {
+        CutConfig {
+            enabled: false,
+            gomory: false,
+            cover: false,
+            clique: false,
+            ..Default::default()
+        }
+    }
+}
+
 /// Configuration for [`crate::Solver`].
 ///
 /// # Examples
@@ -123,6 +201,8 @@ pub struct Config {
     /// singularities, worker panics, and simulated deadline expiry so every
     /// recovery path is exercised.
     pub faults: Option<FaultInjection>,
+    /// Cutting-plane separation settings.
+    pub cuts: CutConfig,
 }
 
 impl Default for Config {
@@ -149,6 +229,7 @@ impl Default for Config {
             threads: 0,
             cancel: None,
             faults: None,
+            cuts: CutConfig::default(),
         }
     }
 }
@@ -231,6 +312,12 @@ impl Config {
         self
     }
 
+    /// Sets the cutting-plane configuration.
+    pub fn with_cuts(mut self, cuts: CutConfig) -> Self {
+        self.cuts = cuts;
+        self
+    }
+
     /// Whether the attached cancellation token (if any) has fired.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
@@ -283,6 +370,17 @@ mod tests {
         assert_eq!(d.reopt, ReoptMode::Auto);
         assert_eq!(d.pricing, PricingRule::Devex);
         assert!(d.reduced_cost_fixing);
+    }
+
+    #[test]
+    fn cut_config_defaults_and_off() {
+        let d = Config::default();
+        assert!(d.cuts.enabled && d.cuts.gomory && d.cuts.cover && d.cuts.clique);
+        assert!(d.cuts.max_rounds >= 1);
+        assert!(!d.cuts.node_cuts, "node cuts are opt-in");
+        let off = Config::default().with_cuts(CutConfig::off());
+        assert!(!off.cuts.enabled);
+        assert!(!off.cuts.gomory && !off.cuts.cover && !off.cuts.clique);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Clique cuts from the binary conflict graph.
+//!
+//! The conflict graph has an edge `{u, v}` whenever `x_u` and `x_v` cannot
+//! both be 1 — seeded from the encoder's one-candidate-per-route GUB
+//! annotations ([`crate::Problem::mark_gub`]) and from structurally
+//! detected two-variable conflicts. For any clique `K` of that graph,
+//! `Σ_{K} x_j <= 1` is valid; the cut is new information exactly when `K`
+//! spans *multiple* source rows (a clique inside a single GUB row restates
+//! that row and is never violated, so it filters itself out via the pool's
+//! violation threshold).
+//!
+//! Clique cuts depend only on original rows, so they are valid at every
+//! branch-and-bound node.
+
+use super::{Cut, CutContext, CutSource, SepInput, Separator, MIN_VIOLATION};
+
+/// Binary variables below this value cannot contribute to a violated
+/// clique in a useful way and are not considered.
+const X_MIN: f64 = 0.05;
+
+/// Cap on greedy seeds, to bound the quadratic growth loop.
+const MAX_CAND: usize = 512;
+
+/// Conflict-graph clique separator.
+pub struct CliqueSeparator;
+
+impl Separator for CliqueSeparator {
+    fn name(&self) -> &'static str {
+        "clique"
+    }
+
+    fn separate(&self, inp: &SepInput<'_>, ctx: &CutContext, out: &mut Vec<Cut>) {
+        separate_clique(ctx, inp.x, inp.max_cuts, out);
+    }
+}
+
+pub(crate) fn separate_clique(
+    ctx: &CutContext,
+    x: &[f64],
+    max_cuts: usize,
+    out: &mut Vec<Cut>,
+) {
+    let mut cand: Vec<usize> = (0..ctx.n)
+        .filter(|&j| ctx.is_binary[j] && x[j] > X_MIN)
+        .collect();
+    if cand.len() < 2 {
+        return;
+    }
+    cand.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal));
+    cand.truncate(MAX_CAND);
+    let mut used = vec![false; ctx.n];
+    let mut emitted = 0;
+    for s in 0..cand.len() {
+        if emitted >= max_cuts {
+            break;
+        }
+        let seed = cand[s];
+        if used[seed] {
+            continue;
+        }
+        // Greedily grow a clique around the seed, preferring high x̄.
+        let mut clique = vec![seed];
+        let mut sum = x[seed];
+        for &v in &cand {
+            if clique.iter().all(|&u| ctx.conflicting(u, v)) {
+                clique.push(v);
+                sum += x[v];
+            }
+        }
+        if clique.len() < 2 || sum <= 1.0 + MIN_VIOLATION {
+            continue;
+        }
+        for &u in &clique {
+            used[u] = true;
+        }
+        clique.sort_unstable();
+        out.push(Cut {
+            coefs: clique.iter().map(|&j| (j, 1.0)).collect(),
+            lb: f64::NEG_INFINITY,
+            ub: 1.0,
+            source: CutSource::Clique,
+        });
+        emitted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Row, Sense, Var};
+
+    #[test]
+    fn clique_spanning_two_gub_rows() {
+        // GUBs {0,1} and {2,3}; a structural conflict links 1 and 2. The
+        // clique {1,2} is exactly the cross-row information the GUB rows
+        // alone do not carry.
+        let mut p = Problem::new(Sense::Maximize);
+        let v: Vec<_> = (0..4).map(|_| p.add_var(Var::binary().obj(1.0))).collect();
+        let g1 = p.add_row(Row::new().coef(v[0], 1.0).coef(v[1], 1.0).eq(1.0));
+        let g2 = p.add_row(Row::new().coef(v[2], 1.0).coef(v[3], 1.0).eq(1.0));
+        p.mark_gub(g1);
+        p.mark_gub(g2);
+        p.add_row(Row::new().coef(v[1], 1.0).coef(v[2], 1.0).le(1.0));
+        let ctx = CutContext::from_problem(&p);
+        let x = [0.0, 0.9, 0.9, 0.0];
+        let mut out = Vec::new();
+        separate_clique(&ctx, &x, 10, &mut out);
+        assert_eq!(out.len(), 1);
+        let c = &out[0];
+        assert_eq!(c.coefs, vec![(1, 1.0), (2, 1.0)]);
+        assert_eq!(c.ub, 1.0);
+        assert!((c.violation(&x) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cut_without_violation() {
+        let mut p = Problem::new(Sense::Maximize);
+        let v: Vec<_> = (0..2).map(|_| p.add_var(Var::binary().obj(1.0))).collect();
+        let g = p.add_row(Row::new().coef(v[0], 1.0).coef(v[1], 1.0).eq(1.0));
+        p.mark_gub(g);
+        let ctx = CutContext::from_problem(&p);
+        // Sum exactly 1: the GUB row itself, not violated.
+        let mut out = Vec::new();
+        separate_clique(&ctx, &[0.5, 0.5], 10, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn triangle_from_pairwise_conflicts() {
+        // Pairwise conflicts among {0,1,2} assemble into one triangle cut.
+        let mut p = Problem::new(Sense::Maximize);
+        let v: Vec<_> = (0..3).map(|_| p.add_var(Var::binary().obj(1.0))).collect();
+        for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+            p.add_row(Row::new().coef(v[a], 1.0).coef(v[b], 1.0).le(1.0));
+        }
+        let ctx = CutContext::from_problem(&p);
+        let x = [0.5, 0.5, 0.5];
+        let mut out = Vec::new();
+        separate_clique(&ctx, &x, 10, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].coefs.len(), 3, "full triangle, not just one edge");
+        assert!((out[0].violation(&x) - 0.5).abs() < 1e-12);
+    }
+}

@@ -131,6 +131,8 @@ struct FaultState {
     factorizations: AtomicU64,
     /// Worker ids whose injected panic has already fired.
     panicked: Mutex<HashSet<usize>>,
+    /// Whether the one-shot near-parallel-cut injection has fired.
+    parallel_cut_fired: AtomicBool,
 }
 
 /// Deterministic fault-injection plan for exercising the recovery paths.
@@ -159,6 +161,10 @@ pub struct FaultInjection {
     lu_singular_per_1024: u16,
     /// Worker ids that panic on the first node they pop.
     panic_workers: Vec<usize>,
+    /// Inject one near-parallel duplicate of an applied cutting plane,
+    /// bypassing the pool's parallelism filter, to exercise the recovery
+    /// ladder on a near-singular basis.
+    parallel_cut: bool,
     /// Treat the deadline as expired once this many nodes were processed.
     deadline_after_nodes: Option<usize>,
     state: Arc<FaultState>,
@@ -214,6 +220,15 @@ impl FaultInjection {
         self
     }
 
+    /// Schedules one injected near-parallel cutting plane: the first root
+    /// cut round appends an almost-identical copy of an applied cut,
+    /// skipping the pool's parallelism filter. The resulting near-singular
+    /// basis must be absorbed by the recovery ladder.
+    pub fn inject_parallel_cut(mut self) -> Self {
+        self.parallel_cut = true;
+        self
+    }
+
     /// Hook: called once per LU factorization; `true` forces this one to
     /// report a singular basis.
     pub(crate) fn on_factorize(&self) -> bool {
@@ -236,6 +251,15 @@ impl FaultInjection {
     /// Hook: whether the simulated deadline has expired at `nodes`.
     pub(crate) fn deadline_expired(&self, nodes: usize) -> bool {
         self.deadline_after_nodes.is_some_and(|n| nodes >= n)
+    }
+
+    /// Hook: one-shot trigger for the injected near-parallel cut.
+    pub(crate) fn take_parallel_cut(&self) -> bool {
+        self.parallel_cut
+            && !self
+                .state
+                .parallel_cut_fired
+                .swap(true, Ordering::SeqCst)
     }
 }
 
@@ -289,6 +313,20 @@ mod tests {
         assert!(f.deadline_expired(5));
         let none = FaultInjection::seeded(0);
         assert!(!none.deadline_expired(1_000_000));
+    }
+
+    #[test]
+    fn parallel_cut_injection_fires_once() {
+        let f = FaultInjection::seeded(1).inject_parallel_cut();
+        assert!(f.take_parallel_cut());
+        assert!(!f.take_parallel_cut(), "one-shot");
+        // clones share the fired flag
+        let g = FaultInjection::seeded(1).inject_parallel_cut();
+        let h = g.clone();
+        assert!(h.take_parallel_cut());
+        assert!(!g.take_parallel_cut());
+        // unscheduled: never fires
+        assert!(!FaultInjection::seeded(2).take_parallel_cut());
     }
 
     #[test]

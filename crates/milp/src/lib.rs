@@ -36,6 +36,9 @@
 //!   for pure LPs and warm-started from previous bases.
 //! * [`branch`] — LP-based branch and bound with pseudo-cost branching,
 //!   plunging, and rounding/diving heuristics.
+//! * [`cuts`] — cutting-plane subsystem: round-based separation (Gomory
+//!   mixed-integer, knapsack cover, clique/GUB) through a deduplicating
+//!   pool, reoptimized with the dual simplex.
 //! * [`presolve`] — bound tightening and row/column elimination with full
 //!   postsolve of the original solution vector.
 //! * [`lp_format`] — export to CPLEX LP text format for debugging against
@@ -43,6 +46,7 @@
 
 pub mod branch;
 pub mod config;
+pub mod cuts;
 pub mod error;
 pub mod heur;
 pub mod lp_format;
@@ -53,7 +57,7 @@ pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
-pub use config::{Branching, Config, NodeSelection, PricingRule, ReoptMode};
+pub use config::{Branching, Config, CutConfig, NodeSelection, PricingRule, ReoptMode};
 pub use error::{CancelToken, FaultInjection, SolveError};
 pub use problem::{Problem, Row, RowId, Sense, Var, VarId, VarType};
 pub use solution::{Solution, Stats, Status};

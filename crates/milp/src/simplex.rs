@@ -91,6 +91,10 @@ pub struct LpResult {
     pub recoveries: usize,
 }
 
+/// A ranged sparse row `(coefs, lb, ub)` over the structural variables,
+/// as consumed by [`LpData::append_rows`].
+pub type SparseRow = (Vec<(usize, f64)>, f64, f64);
+
 /// The LP data in computational form, shared across warm-started solves.
 ///
 /// Constraint matrix and costs stay fixed; variable bounds are passed to
@@ -124,6 +128,111 @@ impl LpData {
     pub fn num_rows(&self) -> usize {
         self.a.nrows()
     }
+
+    /// Appends extra rows (cutting planes) to the LP in one rebuild.
+    ///
+    /// Each entry is `(coefs, lb, ub)` over the structural variables. The
+    /// new rows' slacks extend the slack block at the end, so an existing
+    /// status vector stays index-consistent when padded with one
+    /// [`VStat::Basic`] entry per appended row — appending a cut whose slack
+    /// enters the basis keeps the old basis dual-feasible, which is what
+    /// lets [`crate::ReoptMode::Dual`] reoptimize in a few pivots.
+    pub fn append_rows(&mut self, rows: &[SparseRow]) {
+        if rows.is_empty() {
+            return;
+        }
+        let m0 = self.num_rows();
+        let mut b = crate::sparse::TripletBuilder::new(m0 + rows.len(), self.num_vars());
+        for (r, c, v) in self.a.triplets() {
+            b.push(r, c, v);
+        }
+        for (i, (coefs, lo, hi)) in rows.iter().enumerate() {
+            for &(j, v) in coefs {
+                b.push(m0 + i, j, v);
+            }
+            self.row_lb.push(*lo);
+            self.row_ub.push(*hi);
+        }
+        self.a = b.build();
+    }
+}
+
+/// One row of the simplex tableau for a basic variable, extracted from the
+/// final LU factorization of an optimal basis.
+///
+/// The augmented system `[A | -I] [x; s] = 0` has zero right-hand side, so
+/// the row reads `x_var + sum_k coefs[k] * z_k = 0` where `z_k` ranges over
+/// the *nonbasic* variables in augmented indexing (structural `j < n`,
+/// slack of row `r` at `n + r`). Equivalently, with every nonbasic shifted
+/// to its current resting value `z̄_k`, `x_var + sum_k coefs[k] * (z_k -
+/// z̄_k) = rhs` where `rhs` is the basic variable's current value — the
+/// form Gomory derivation wants.
+#[derive(Debug, Clone)]
+pub struct TableauRow {
+    /// Augmented index of the basic variable this row belongs to.
+    pub var: usize,
+    /// Value of the basic variable at the current solution.
+    pub rhs: f64,
+    /// `(augmented nonbasic index, tableau coefficient)` pairs.
+    pub coefs: Vec<(usize, f64)>,
+}
+
+/// Extracts simplex tableau rows for the requested basic variables by
+/// re-installing `statuses` (an optimal basis from [`solve_lp`]) and running
+/// one btran per row: row `i` of `B^{-1}` is `btran(e_i)`, and the tableau
+/// coefficient of nonbasic column `k` is its dot product with that row.
+///
+/// Returns `None` when the basis cannot be re-installed or re-factorized
+/// (wrong length, singular under fault injection, ...). Coefficients below
+/// `1e-12` in magnitude are dropped; Gomory separation re-validates the cut
+/// numerically anyway.
+pub fn extract_tableau_rows(
+    lp: &LpData,
+    var_lb: &[f64],
+    var_ub: &[f64],
+    cfg: &Config,
+    statuses: &[VStat],
+    wanted: &[usize],
+) -> Option<Vec<TableauRow>> {
+    let mut eng = Engine::new(lp, var_lb, var_ub, cfg, None);
+    match eng.install(Some(statuses)) {
+        Ok(true) => {}
+        // Falling back to the slack basis would extract rows of a basis
+        // nobody asked about; report failure instead.
+        Ok(false) | Err(_) => return None,
+    }
+    eng.compute_basics();
+    let mut rows = Vec::with_capacity(wanted.len());
+    let mut rho = vec![0.0; eng.m];
+    for &j in wanted {
+        if eng.status.get(j).copied() != Some(VStat::Basic) {
+            continue;
+        }
+        let i = eng.pos[j];
+        rho.iter_mut().for_each(|v| *v = 0.0);
+        rho[i] = 1.0;
+        eng.fact.btran(&mut rho);
+        let mut coefs = Vec::new();
+        for k in 0..eng.nn {
+            if eng.status[k] == VStat::Basic {
+                continue;
+            }
+            let a = if k < eng.n {
+                eng.lp.a.col_dot(k, &rho)
+            } else {
+                -rho[k - eng.n]
+            };
+            if a.abs() > 1e-12 {
+                coefs.push((k, a));
+            }
+        }
+        rows.push(TableauRow {
+            var: j,
+            rhs: eng.x[j],
+            coefs,
+        });
+    }
+    Some(rows)
 }
 
 struct Engine<'a> {
@@ -1426,5 +1535,63 @@ mod tests {
             }
             assert_ne!(r.status, LpStatus::Unbounded);
         }
+    }
+
+    #[test]
+    fn append_rows_extends_lp_and_warm_start() {
+        // min -x - y s.t. x + y <= 4; then append x <= 1.5 as an extra row
+        // and reoptimize from the old basis padded with one Basic slack.
+        let mut data = lp(&[(&[(0, 1.0), (1, 1.0)], -INF, 4.0)], 2, &[-1.0, -1.0]);
+        let cfg = Config::default();
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &cfg, None, None).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.obj + 4.0).abs() < 1e-7);
+
+        data.append_rows(&[(vec![(0, 1.0)], -INF, 1.5)]);
+        assert_eq!(data.num_rows(), 2);
+        let mut warm = r.statuses.clone();
+        warm.push(VStat::Basic);
+        let r2 = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &cfg, Some(&warm), None).unwrap();
+        assert_eq!(r2.status, LpStatus::Optimal);
+        assert!((r2.obj + 4.0).abs() < 1e-7, "obj = {}", r2.obj);
+        assert!(r2.x[0] <= 1.5 + 1e-7);
+    }
+
+    #[test]
+    fn tableau_rows_reproduce_basic_values() {
+        // max x + y s.t. 2x + 3y <= 12, 3x + 2y <= 12 -> x = y = 2.4 basic.
+        let data = lp(
+            &[
+                (&[(0, 2.0), (1, 3.0)], -INF, 12.0),
+                (&[(0, 3.0), (1, 2.0)], -INF, 12.0),
+            ],
+            2,
+            &[-1.0, -1.0],
+        );
+        let cfg = Config::default();
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &cfg, None, None).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        let rows = extract_tableau_rows(&data, &[0.0, 0.0], &[INF, INF], &cfg, &r.statuses, &[0, 1])
+            .expect("basis reinstalls");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!((row.rhs - 2.4).abs() < 1e-7, "rhs = {}", row.rhs);
+            // Zero-rhs identity: x_var = -sum coefs * z_nb, with both slacks
+            // nonbasic at their upper bound 12.
+            let nb_sum: f64 = row.coefs.iter().map(|&(_, a)| a * 12.0).sum();
+            assert!(
+                (r.x[row.var] + nb_sum).abs() < 1e-7,
+                "row identity violated for var {}",
+                row.var
+            );
+        }
+    }
+
+    #[test]
+    fn tableau_rows_reject_bad_statuses() {
+        let data = lp(&[(&[(0, 1.0)], -INF, 3.0)], 1, &[-1.0]);
+        let cfg = Config::default();
+        // Wrong length: must refuse rather than silently use the slack basis.
+        assert!(extract_tableau_rows(&data, &[0.0], &[INF], &cfg, &[VStat::Basic], &[0]).is_none());
     }
 }

@@ -5,7 +5,18 @@
 //! are reproducible: an injected LU singularity or worker panic happens at
 //! the same point on every run.
 
-use milp::{CancelToken, Config, FaultInjection, Problem, Row, Sense, Solver, Status, Var, VarId};
+use milp::{
+    CancelToken, Config, CutConfig, FaultInjection, Problem, Row, Sense, Solver, Status, Var,
+    VarId,
+};
+
+/// A configuration whose tree search actually processes nodes on
+/// `hard_knapsack`: cover cuts close these single-row knapsacks at the
+/// root, so tests that need in-tree faults (worker panics, simulated
+/// deadline expiry at node N) to fire must search without cuts.
+fn no_cuts() -> Config {
+    Config::default().with_cuts(CutConfig::off())
+}
 
 /// A knapsack hard enough to need a real tree search (hundreds of nodes
 /// without heuristics), with a known-by-construction reproducible optimum.
@@ -82,11 +93,11 @@ fn lu_singularity_during_dual_reopt_recovers() {
 #[test]
 fn worker_panic_preserves_incumbent_and_optimum() {
     let p = hard_knapsack(20);
-    let clean = solve_with(&p, Config::default());
+    let clean = solve_with(&p, no_cuts());
     assert_eq!(clean.status(), Status::Optimal);
 
     let faults = FaultInjection::seeded(7).panic_worker(0);
-    let sol = solve_with(&p, Config::default().with_threads(4).with_faults(faults));
+    let sol = solve_with(&p, no_cuts().with_threads(4).with_faults(faults));
     assert_eq!(sol.status(), Status::Optimal);
     assert!(sol.status().has_solution());
     assert!(
@@ -105,7 +116,7 @@ fn worker_panic_preserves_incumbent_and_optimum() {
 #[test]
 fn all_workers_panicking_degrades_to_sequential() {
     let p = hard_knapsack(16);
-    let clean = solve_with(&p, Config::default());
+    let clean = solve_with(&p, no_cuts());
     assert_eq!(clean.status(), Status::Optimal);
 
     // Every worker dies on its first node; the open pool survives and the
@@ -114,7 +125,7 @@ fn all_workers_panicking_degrades_to_sequential() {
         .panic_worker(0)
         .panic_worker(1)
         .panic_worker(2);
-    let sol = solve_with(&p, Config::default().with_threads(3).with_faults(faults));
+    let sol = solve_with(&p, no_cuts().with_threads(3).with_faults(faults));
     assert_eq!(sol.status(), Status::Optimal);
     assert!(
         (sol.objective() - clean.objective()).abs() < 1e-6,
@@ -123,6 +134,32 @@ fn all_workers_panicking_degrades_to_sequential() {
         clean.objective()
     );
     assert_eq!(sol.stats().worker_panics, 3);
+    assert!(p.check_feasible(sol.values(), 1e-6).is_none());
+}
+
+#[test]
+fn injected_near_parallel_cut_recovers() {
+    let p = hard_knapsack(18);
+    let clean = solve_with(&p, Config::default());
+    assert_eq!(clean.status(), Status::Optimal);
+
+    // The first root cut round appends an almost-identical copy of an
+    // applied cut, bypassing the pool's parallelism filter. The resulting
+    // near-singular basis must be absorbed by the recovery ladder and the
+    // fault-free optimum restored.
+    let faults = FaultInjection::seeded(5).inject_parallel_cut();
+    let sol = solve_with(&p, Config::default().with_faults(faults));
+    assert_eq!(sol.status(), Status::Optimal);
+    assert!(
+        (sol.objective() - clean.objective()).abs() < 1e-6,
+        "with injected parallel cut {} vs fault-free {}",
+        sol.objective(),
+        clean.objective()
+    );
+    assert!(
+        sol.stats().cuts_applied > clean.stats().cuts_applied,
+        "the injected duplicate must actually have entered the LP"
+    );
     assert!(p.check_feasible(sol.values(), 1e-6).is_none());
 }
 
@@ -158,10 +195,7 @@ fn cancel_token_is_shared_across_clones() {
 fn injected_deadline_expiry_yields_limit_status() {
     let p = hard_knapsack(22);
     let faults = FaultInjection::seeded(11).expire_after_nodes(1);
-    let sol = solve_with(
-        &p,
-        Config::default().with_heuristics(false).with_faults(faults),
-    );
+    let sol = solve_with(&p, no_cuts().with_heuristics(false).with_faults(faults));
     assert!(
         matches!(
             sol.status(),
@@ -182,7 +216,7 @@ fn injected_deadline_expiry_in_parallel_search() {
     let faults = FaultInjection::seeded(11).expire_after_nodes(2);
     let sol = solve_with(
         &p,
-        Config::default()
+        no_cuts()
             .with_threads(4)
             .with_heuristics(false)
             .with_faults(faults),

@@ -1,3 +1,7 @@
+// Production-path code must return `Option`/`Result`, not panic; tests
+// are exempt (unwrap on known-good fixtures). Same gate as `milp`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Directed weighted graphs, Dijkstra, and Yen's K-shortest loopless paths.
 //!
 //! This crate is the routing substrate of the wireless-network DSE stack:

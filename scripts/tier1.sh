@@ -6,6 +6,8 @@
 #   3. clippy on every target with warnings promoted to errors
 #   4. perf smoke: the Table 3 [50/20] row must yield a feasible design
 #      within a 30 s solver budget (warns when short of Optimal)
+#   5. cuts smoke: root separation must apply cuts on that row and must
+#      not degrade the solve status vs cuts-off
 #
 # Run from the repository root:  ./scripts/tier1.sh
 set -euo pipefail
@@ -46,5 +48,32 @@ fi
 if ! grep -q '"kind":"row".*"status":"Optimal"' "$T3_SMOKE_JSON"; then
     echo "tier1: perf smoke WARNING — [50/20] row feasible but not Optimal in 30 s" >&2
 fi
+
+echo "== tier1: cuts smoke ([50/20] row, cuts on vs off) =="
+# The table3 run above also emits the cut ablation records. Root
+# separation must actually fire on this workload, and enabling cuts must
+# not degrade the solve status.
+cuts_on_rec="$(grep -o '"kind":"cuts_on"[^}]*' "$T3_SMOKE_JSON")"
+cuts_off_rec="$(grep -o '"kind":"cuts_off"[^}]*' "$T3_SMOKE_JSON")"
+applied="$(echo "$cuts_on_rec" | sed -n 's/.*"cuts_applied":\([0-9]*\).*/\1/p')"
+if [ -z "${applied:-}" ] || [ "$applied" -eq 0 ]; then
+    echo "tier1: cuts smoke FAILED — no cuts applied on the [50/20] row:" >&2
+    echo "$cuts_on_rec" >&2
+    exit 1
+fi
+status_rank() {
+    case "$1" in
+        Optimal) echo 2 ;;
+        LimitFeasible) echo 1 ;;
+        *) echo 0 ;;
+    esac
+}
+on_status="$(echo "$cuts_on_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+off_status="$(echo "$cuts_off_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+if [ "$(status_rank "$on_status")" -lt "$(status_rank "$off_status")" ]; then
+    echo "tier1: cuts smoke FAILED — cuts-on status $on_status worse than cuts-off $off_status" >&2
+    exit 1
+fi
+echo "tier1: cuts smoke OK ($applied cuts applied, $on_status vs $off_status)"
 
 echo "tier1: OK"
