@@ -28,10 +28,12 @@
 //! `T3_FULL_TL`, `T3_ROWS` (max rows, default 6; `SCALE=paper` runs all
 //! 10 rows at the paper's sizes), `T3_SKIP_FULL=1` (skip the slow
 //! full-encoding solve on row 1 — used by the tier-1 perf smoke),
-//! `T3_CUTS=0` (skip the cuts-on/cuts-off ablation on the [50/20] row).
+//! `T3_CUTS=0` (skip the cuts-on/cuts-off ablation on the [50/20] row),
+//! `T3_PRICING=0` (skip the pricing-on/pricing-off ablation on the same
+//! row).
 
 use archex::encode::EncodeMode;
-use archex::explore::{encode_only, explore, full_encoding_size_estimate};
+use archex::explore::{encode_only, explore, full_encoding_size_estimate, ExploreOutcome};
 use archex::{ExploreOptions, Table};
 use bench::data_collection_workload;
 use bench::json::{write_solver_json, SolverRecord};
@@ -47,6 +49,43 @@ fn env_thread_list(default: &[usize]) -> Vec<usize> {
             .filter_map(|s| s.trim().parse().ok())
             .collect(),
         Err(_) => default.to_vec(),
+    }
+}
+
+/// One solver record from an exploration outcome; `oversubscribed` flags
+/// runs asking for more workers than the host has cores (their scaling
+/// numbers measure time-slicing, not parallelism).
+fn record(
+    kind: &'static str,
+    (total, end): (usize, usize),
+    opts: &ExploreOptions,
+    out: &ExploreOutcome,
+    encode_s: f64,
+    cons: usize,
+) -> SolverRecord {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let eff = opts.solver.effective_threads();
+    SolverRecord {
+        kind,
+        total,
+        end,
+        threads: opts.solver.threads,
+        effective_threads: eff,
+        wall_s: out.stats.solve_time.as_secs_f64(),
+        nodes: out.stats.bb_nodes,
+        status: format!("{:?}", out.status),
+        objective: out.design.as_ref().map(|d| d.objective),
+        encode_s,
+        cons,
+        pivots: out.stats.simplex_iters,
+        phase1_pivots: out.stats.phase1_iters,
+        cuts_applied: out.stats.cuts_applied,
+        cut_rounds: out.stats.cut_rounds,
+        root_gap: out.stats.root_gap,
+        cols_priced: out.stats.cols_priced,
+        pricing_rounds: out.stats.pricing_rounds,
+        pricing_s: out.stats.pricing_time.as_secs_f64(),
+        oversubscribed: eff > host,
     }
 }
 
@@ -114,24 +153,14 @@ fn main() {
         opts.solver.rel_gap = 0.005;
         let out = explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
         let approx_time = time_cell(&out, tl);
-        records.push(SolverRecord {
-            kind: "row",
-            total,
-            end,
-            threads: opts.solver.threads,
-            effective_threads: opts.solver.effective_threads(),
-            wall_s: out.stats.solve_time.as_secs_f64(),
-            nodes: out.stats.bb_nodes,
-            status: format!("{:?}", out.status),
-            objective: out.design.as_ref().map(|d| d.objective),
-            encode_s: encode_time.as_secs_f64(),
-            cons: approx_stats.num_cons,
-            pivots: out.stats.simplex_iters,
-            phase1_pivots: out.stats.phase1_iters,
-            cuts_applied: out.stats.cuts_applied,
-            cut_rounds: out.stats.cut_rounds,
-            root_gap: out.stats.root_gap,
-        });
+        records.push(record(
+            "row",
+            (total, end),
+            &opts,
+            &out,
+            encode_time.as_secs_f64(),
+            approx_stats.num_cons,
+        ));
 
         // --- full encoding: measured when small enough, estimated beyond ---
         let (full_cons, approximate_marker) = if total <= full_build_max_nodes {
@@ -205,24 +234,63 @@ fn main() {
                 out.stats.cuts_applied,
                 out.stats.cut_rounds,
             );
-            records.push(SolverRecord {
+            records.push(record(
                 kind,
-                total,
-                end,
-                threads: opts.solver.threads,
-                effective_threads: opts.solver.effective_threads(),
-                wall_s: out.stats.solve_time.as_secs_f64(),
-                nodes: out.stats.bb_nodes,
-                status: format!("{:?}", out.status),
-                objective: out.design.as_ref().map(|d| d.objective),
-                encode_s: out.stats.encode_time.as_secs_f64(),
-                cons: out.stats.num_cons,
-                pivots: out.stats.simplex_iters,
-                phase1_pivots: out.stats.phase1_iters,
-                cuts_applied: out.stats.cuts_applied,
-                cut_rounds: out.stats.cut_rounds,
-                root_gap: out.stats.root_gap,
-            });
+                (total, end),
+                &opts,
+                &out,
+                out.stats.encode_time.as_secs_f64(),
+                out.stats.num_cons,
+            ));
+        }
+    }
+
+    // --- Branch-and-price ablation on the [50 / 20] row ---
+    // `pricing_off` is the plain K* = 10 encoding; `pricing_on` seeds the
+    // restricted master with only K = 2 Yen candidates and prices the rest
+    // at the root against the LP duals. tier1.sh asserts both reach the
+    // same objective and pricing contributes at least one column.
+    // `T3_PRICING=0` skips the ablation.
+    if env_usize("T3_PRICING", 1) != 0 {
+        let (total, end) = (50, 20);
+        let w = data_collection_workload(total, end, "cost");
+        println!("\nPricing ablation on [{} / {}]:", total, end);
+        for (kind, base) in [
+            ("pricing_off", ExploreOptions::approx(10)),
+            ("pricing_on", ExploreOptions::pricing(2)),
+        ] {
+            let mut opts = base;
+            opts.solver.time_limit = Some(tl);
+            opts.solver.rel_gap = 0.005;
+            let out = explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
+            if let Some(d) = &out.design {
+                let viol = archex::design::verify_design(d, &w.template, &w.library, &w.requirements);
+                assert!(
+                    viol.is_empty(),
+                    "{} produced an infeasible design: {:?}",
+                    kind,
+                    viol
+                );
+            }
+            println!(
+                "  {:<11}: {:>7.2} s ({} cons), {:>6} nodes, {} cols priced in {} rounds ({:.2} s), obj {:?}",
+                kind,
+                out.stats.solve_time.as_secs_f64(),
+                out.stats.num_cons,
+                out.stats.bb_nodes,
+                out.stats.cols_priced,
+                out.stats.pricing_rounds,
+                out.stats.pricing_time.as_secs_f64(),
+                out.design.as_ref().map(|d| d.objective),
+            );
+            records.push(record(
+                kind,
+                (total, end),
+                &opts,
+                &out,
+                out.stats.encode_time.as_secs_f64(),
+                out.stats.num_cons,
+            ));
         }
     }
 
@@ -257,24 +325,14 @@ fn main() {
                     "  threads {:>2}: {:>8.2} s, {:>8} nodes, speedup vs 1: {}",
                     t, wall, out.stats.bb_nodes, speedup
                 );
-                records.push(SolverRecord {
-                    kind: "scaling",
-                    total,
-                    end,
-                    threads: t,
-                    effective_threads: opts.solver.effective_threads(),
-                    wall_s: wall,
-                    nodes: out.stats.bb_nodes,
-                    status: format!("{:?}", out.status),
-                    objective: out.design.as_ref().map(|d| d.objective),
-                    encode_s: out.stats.encode_time.as_secs_f64(),
-                    cons: out.stats.num_cons,
-                    pivots: out.stats.simplex_iters,
-                    phase1_pivots: out.stats.phase1_iters,
-                    cuts_applied: out.stats.cuts_applied,
-                    cut_rounds: out.stats.cut_rounds,
-                    root_gap: out.stats.root_gap,
-                });
+                records.push(record(
+                    "scaling",
+                    (total, end),
+                    &opts,
+                    &out,
+                    out.stats.encode_time.as_secs_f64(),
+                    out.stats.num_cons,
+                ));
             }
         }
     }

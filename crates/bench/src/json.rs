@@ -46,6 +46,16 @@ pub struct SolverRecord {
     /// Relative gap between the integer optimum and the root LP bound
     /// after cut rounds.
     pub root_gap: f64,
+    /// Path columns priced into the root LP by column generation.
+    pub cols_priced: usize,
+    /// Solve-price-reoptimize rounds run at the root.
+    pub pricing_rounds: usize,
+    /// Seconds spent inside the pricing loop.
+    pub pricing_s: f64,
+    /// True when the run requested more worker threads than the host has
+    /// cores — scaling numbers from such runs measure time-slicing, not
+    /// parallel speedup.
+    pub oversubscribed: bool,
 }
 
 fn json_f64(v: f64) -> String {
@@ -64,7 +74,9 @@ impl SolverRecord {
                 "\"effective_threads\":{},\"wall_s\":{},\"nodes\":{},",
                 "\"status\":\"{}\",\"objective\":{},\"encode_s\":{},\"cons\":{},",
                 "\"pivots\":{},\"phase1_pivots\":{},",
-                "\"cuts_applied\":{},\"cut_rounds\":{},\"root_gap\":{}}}"
+                "\"cuts_applied\":{},\"cut_rounds\":{},\"root_gap\":{},",
+                "\"cols_priced\":{},\"pricing_rounds\":{},\"pricing_s\":{},",
+                "\"oversubscribed\":{}}}"
             ),
             self.kind,
             self.total,
@@ -82,6 +94,10 @@ impl SolverRecord {
             self.cuts_applied,
             self.cut_rounds,
             json_f64(self.root_gap),
+            self.cols_priced,
+            self.pricing_rounds,
+            json_f64(self.pricing_s),
+            self.oversubscribed,
         )
     }
 }
@@ -223,6 +239,10 @@ mod tests {
             cuts_applied: 7,
             cut_rounds: 2,
             root_gap: 0.125,
+            cols_priced: 33,
+            pricing_rounds: 4,
+            pricing_s: 0.5,
+            oversubscribed: true,
         };
         let s = r.to_json();
         assert!(s.starts_with('{') && s.ends_with('}'));
@@ -233,6 +253,10 @@ mod tests {
         assert!(s.contains("\"cuts_applied\":7"));
         assert!(s.contains("\"cut_rounds\":2"));
         assert!(s.contains("\"root_gap\":0.125000"));
+        assert!(s.contains("\"cols_priced\":33"));
+        assert!(s.contains("\"pricing_rounds\":4"));
+        assert!(s.contains("\"pricing_s\":0.500000"));
+        assert!(s.contains("\"oversubscribed\":true"));
         let r2 = SolverRecord {
             objective: None,
             ..r

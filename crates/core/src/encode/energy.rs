@@ -99,6 +99,7 @@ pub fn encode_energy(
     if !energy_needed(req) || enc.routes.is_empty() {
         return;
     }
+    let pricing = enc.pricing.is_some();
     let p = &req.params;
     let snr_floor = req.effective_min_snr_db();
     let snr_hi = snr_floor + 40.0;
@@ -172,18 +173,31 @@ pub fn encode_energy(
     let budget = req
         .min_lifetime_seconds()
         .map(|life| p.battery_mas() * period / life);
+    // Structural load ceiling for pricing mode: a simple path crosses a
+    // node at most once, so no node ever carries more than one TX and one
+    // RX hop (plus two slots) per replica — however many path columns the
+    // pricer later appends.
+    let total_reps = enc.routes.len() as f64;
+    let mut energy_node_rows: Vec<Vec<(usize, f64, f64, f64)>> =
+        vec![Vec::new(); template.num_nodes()];
     for i in 0..n {
         let role = template.nodes()[i].role;
         if !matches!(role, NodeRole::Sensor | NodeRole::Relay) {
             continue;
         }
-        if load_tx[i].is_constant() && load_rx[i].is_constant() && slots[i].is_constant() {
-            continue; // no routes can touch this node
+        if !pricing
+            && load_tx[i].is_constant()
+            && load_rx[i].is_constant()
+            && slots[i].is_constant()
+        {
+            continue; // no routes can touch this node (and none may appear)
         }
         // One energy variable per node; its upper bound IS the lifetime
         // constraint (3a).
         let mut e_hi = f64::INFINITY;
-        let mut exprs: Vec<(Vid, LinExpr, f64)> = Vec::new();
+        // (map var, energy expr, big-M, (ctx, crx, cslot)) per component.
+        type ComponentEnergy = (Vid, LinExpr, f64, (f64, f64, f64));
+        let mut exprs: Vec<ComponentEnergy> = Vec::new();
         for &(k, m) in enc.map_vars[i].clone().iter() {
             let comp = library.get(k).expect("valid component index");
             let (ctx, crx, cslot, cperiod) = energy_coefficients(p, comp);
@@ -191,24 +205,44 @@ pub fn encode_energy(
                 + load_rx[i].clone() * crx
                 + slots[i].clone() * cslot
                 + cperiod;
-            let (_, hi) = enc.model.expr_bounds(&expr);
-            exprs.push((m, expr, hi));
+            // Pricing must not derive the big-M from the current expression:
+            // priced columns add load terms later, which would break the
+            // row. The structural worst case dominates both.
+            let hi = if pricing {
+                total_reps * ((ctx + crx) * etx_cap + 2.0 * cslot) + cperiod
+            } else {
+                enc.model.expr_bounds(&expr).1
+            };
+            exprs.push((m, expr, hi, (ctx, crx, cslot)));
         }
-        let var_hi = exprs.iter().map(|(_, _, h)| *h).fold(0.0f64, f64::max);
+        let var_hi = exprs.iter().map(|(_, _, h, _)| *h).fold(0.0f64, f64::max);
         if let Some(b) = budget {
             e_hi = b;
         }
         let energy = enc
             .model
             .cont(format!("energy_{}", i), 0.0, e_hi.min(var_hi.max(1.0)));
-        for (m, expr, hi) in exprs {
+        for (m, expr, hi, coefs) in exprs {
             // m = 1  =>  energy >= expr, big-M'd as
             // energy >= expr - hi*(1-m)  <=>  energy - expr - hi*m >= -hi
-            enc.model
+            let row = enc
+                .model
                 .add((LinExpr::from(energy) - expr - LinExpr::term(m, hi)).geq(-hi));
+            if pricing {
+                energy_node_rows[i].push((row, coefs.0, coefs.1, coefs.2));
+            }
         }
         enc.energy_expr += LinExpr::from(energy);
         enc.node_energy[i] = Some(LinExpr::from(energy));
+    }
+    if let Some(hooks) = enc.pricing.as_mut() {
+        hooks.energy = super::pricing_hooks::EnergyHooks {
+            enabled: true,
+            etx_constant,
+            etx_cap,
+            node_rows: energy_node_rows,
+            etx_cols: etx_vars.iter().map(|(&e, v)| (e, v.index())).collect(),
+        };
     }
 }
 

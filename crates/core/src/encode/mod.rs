@@ -17,6 +17,7 @@ pub mod link_quality;
 pub mod localization;
 pub mod mapping;
 pub mod objective;
+pub mod pricing_hooks;
 pub mod routing;
 
 use crate::requirements::Requirements;
@@ -183,6 +184,9 @@ pub struct Encoding {
     pub energy_expr: LinExpr,
     /// DSOD localization objective expression.
     pub dsod_expr: LinExpr,
+    /// Row/column bookkeeping for column generation; `Some` only when the
+    /// encoding was built through [`encode_pricing`].
+    pub pricing: Option<pricing_hooks::PricingHooks>,
 }
 
 impl Encoding {
@@ -258,6 +262,55 @@ pub fn encode_with_lq(
     Ok(enc)
 }
 
+/// Encodes the exploration problem for **column generation**: the
+/// approximate routing encoder runs with a deliberately small `kstar` as
+/// the restricted master, and everything the pricer needs to append path
+/// columns later is prepared up front:
+///
+/// * row/column bookkeeping is recorded into [`Encoding::pricing`] (GUB
+///   rows, `a`-definition rows, disjointness rows, energy rows and their
+///   load coefficients);
+/// * a bounded **link universe** — the union of edges over a comfortably
+///   larger Yen candidate set (`max(4·kstar, 16)`) than the seeded
+///   selectors — gets its activation variables (and link-quality
+///   constraints) immediately, so priced-in paths may recombine edges
+///   across candidates no seed uses, while the model stays near the plain
+///   approximate encoding's size (pre-activating *every* template link
+///   multiplies the row count several-fold and drowns the integer search);
+/// * energy big-M constants are derived from structural worst cases (every
+///   replica crossing the node) instead of the current expression bounds,
+///   so the rows stay valid as columns join them.
+///
+/// # Errors
+///
+/// See [`encode_with_lq`].
+pub fn encode_pricing(
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+    kstar: usize,
+    lq: link_quality::LqEncoding,
+) -> Result<Encoding, EncodeError> {
+    let mut enc = mapping::encode_mapping(template, library)?;
+    enc.pricing = Some(pricing_hooks::PricingHooks::default());
+    let concrete = routing::resolve_routes(template, req)?;
+    routing::encode_approx(&mut enc, template, req, &concrete, kstar)?;
+    // Pre-activate the link universe: priced paths may use any of these
+    // edges, and link-quality/ETX constraints only cover edges that exist
+    // by the time they encode.
+    let universe_k = (4 * kstar).max(16);
+    for (i, j) in routing::link_universe(template, req, &concrete, universe_k)? {
+        enc.edge_var(i, j);
+    }
+    link_quality::encode_link_quality_with(&mut enc, template, library, req, lq);
+    energy::encode_energy(&mut enc, template, library, req);
+    if req.min_reachable.is_some() {
+        localization::encode_localization(&mut enc, template, library, req, Some(kstar))?;
+    }
+    objective::encode_objective(&mut enc, library, req);
+    Ok(enc)
+}
+
 /// Encodes the full exploration problem with the default (tight)
 /// link-quality linearization.
 ///
@@ -285,5 +338,6 @@ pub(crate) fn new_encoding(model: Model) -> Encoding {
         cost_expr: LinExpr::zero(),
         energy_expr: LinExpr::zero(),
         dsod_expr: LinExpr::zero(),
+        pricing: None,
     }
 }

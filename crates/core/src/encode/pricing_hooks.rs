@@ -1,0 +1,76 @@
+//! Bookkeeping recorded during a pricing-mode encode.
+//!
+//! Column generation prices new candidate paths against the restricted
+//! LP's row duals, so the pricer must know *which row* each structural
+//! constraint landed on: the per-replica GUB disjunction, the `a`-definition
+//! rows, the inter-replica disjointness rows, and the per-(node, component)
+//! energy rows together with their load coefficients. The encode submodules
+//! fill this structure in when [`super::Encoding::pricing`] is `Some`; the
+//! normal encode path pays nothing.
+
+use std::collections::{HashMap, HashSet};
+
+/// A disjointness-group key: `(group, src, dst)` as used by the approximate
+/// routing encoder.
+pub type GroupKey = (usize, usize, usize);
+
+/// Row/column bookkeeping for one encoded route replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaHooks {
+    /// Index of this replica in `Encoding::routes`.
+    pub route_idx: usize,
+    /// Disjointness-group key shared with sibling replicas.
+    pub key: GroupKey,
+    /// Route family index (into `Requirements::routes`).
+    pub family: usize,
+    /// Replica number within the group.
+    pub replica: usize,
+    /// Source template node.
+    pub src: usize,
+    /// Destination template node.
+    pub dst: usize,
+    /// Hop bound of the family, when one is required.
+    pub max_hops: Option<usize>,
+    /// Row index of the `sum s = 1` GUB disjunction.
+    pub gub_row: usize,
+    /// Row index of each `sum s - a = 0` definition, keyed by edge.
+    pub a_def_rows: HashMap<(usize, usize), usize>,
+    /// LP column index of each edge-usage binary `a`, keyed by edge.
+    pub a_cols: HashMap<(usize, usize), usize>,
+    /// Node sequences already offered as candidates (Yen seeds plus
+    /// everything priced later) — the oracle must not re-propose them.
+    pub seen: HashSet<Vec<usize>>,
+}
+
+/// Energy-model bookkeeping shared by all replicas.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyHooks {
+    /// Whether an energy model was encoded at all.
+    pub enabled: bool,
+    /// Whether the ETX curve collapsed to the constant `etx_cap`.
+    pub etx_constant: bool,
+    /// The ETX ceiling (also the constant value on the fast path).
+    pub etx_cap: f64,
+    /// Per node: `(energy row, c_tx, c_rx, c_slot)` for every compatible
+    /// component's lower-bound row. Empty for nodes without an energy model
+    /// (sinks, anchors).
+    pub node_rows: Vec<Vec<(usize, f64, f64, f64)>>,
+    /// LP column index of the per-edge ETX variable (non-constant mode
+    /// only).
+    pub etx_cols: HashMap<(usize, usize), usize>,
+}
+
+/// Everything a [`crate::pricing::PathPricer`] needs to turn LP duals into
+/// dual-weighted shortest-path queries and new column bundles.
+#[derive(Debug, Clone, Default)]
+pub struct PricingHooks {
+    /// One entry per encoded route replica, in `Encoding::routes` order.
+    pub replicas: Vec<ReplicaHooks>,
+    /// Row index of each inter-replica `sum a <= 1` disjointness row, keyed
+    /// by `(group key, edge)`. Only edges with two or more encode-time
+    /// users have a row; the pricer adds rows (and records them on its own
+    /// side) as priced paths create new sharings.
+    pub disjoint_rows: HashMap<(GroupKey, (usize, usize)), usize>,
+    /// Energy-model bookkeeping.
+    pub energy: EnergyHooks,
+}

@@ -127,6 +127,53 @@ pub fn encode_approx(
 /// Candidate paths of one `(group, src, dst)` key, one entry per replica.
 type GroupPaths = Vec<Vec<Path>>;
 
+/// Union of template edges over the Yen candidate sets [`encode_approx`]
+/// would build at `kstar` — the bounded link universe a pricing-mode
+/// encoding pre-activates (see [`crate::encode::encode_pricing`]). Edges
+/// are returned sorted so downstream variable creation is deterministic.
+pub(crate) fn link_universe(
+    template: &NetworkTemplate,
+    req: &Requirements,
+    concrete: &[ConcreteRoute],
+    kstar: usize,
+) -> Result<Vec<(usize, usize)>, EncodeError> {
+    let kstar = kstar.max(1);
+    let graph = template.graph();
+    let mut edge_id: HashMap<(usize, usize), usize> = HashMap::new();
+    for (eid, &(i, j)) in template.links().iter().enumerate() {
+        edge_id.insert((i, j), eid);
+    }
+    let mut groups: HashMap<(usize, usize, usize), Vec<&ConcreteRoute>> = HashMap::new();
+    for c in concrete {
+        groups.entry((c.group, c.src, c.dst)).or_default().push(c);
+    }
+    let mut universe: Vec<(usize, usize)> = Vec::new();
+    for ((_, src, dst), members) in &groups {
+        let hops: Vec<Option<usize>> = members
+            .iter()
+            .map(|r| req.routes[r.family].max_hops)
+            .collect();
+        let nrep = hops.len();
+        let group_paths = candidate_paths_for_group(
+            &graph,
+            &edge_id,
+            &hops,
+            *src,
+            *dst,
+            kstar.div_ceil(nrep),
+        )?;
+        for paths in &group_paths {
+            for p in paths {
+                let nodes: Vec<usize> = p.nodes().iter().map(|n| n.index()).collect();
+                universe.extend(nodes.windows(2).map(|w| (w[0], w[1])));
+            }
+        }
+    }
+    universe.sort_unstable();
+    universe.dedup();
+    Ok(universe)
+}
+
 /// Phase 1 of [`encode_approx`]: runs the Yen/ban iteration for one key.
 /// Pure path computation — no model state — so different keys can run on
 /// different threads.
@@ -281,6 +328,7 @@ pub fn encode_approx_with_threads(
     }
 
     // --- Phase 2: sequential model build in sorted key order ---
+    let record_hooks = enc.pricing.is_some();
     for (key, result) in keys.iter().zip(computed) {
         let members = &groups[key];
         let &(_, src, dst) = key;
@@ -315,13 +363,15 @@ pub fn encode_approx_with_threads(
             }
             // One-candidate-per-route disjunction: annotated as a GUB row
             // so the solver's clique separator can use it structurally.
-            enc.model.add_gub_named(
+            let gub_row = enc.model.add_gub_named(
                 format!("route_{}_{}_{}", fam.name, src, rep),
                 selector_sum.eq(1.0),
             );
             // Edge-usage binaries a_e = sum of selectors through e, and
             // linking to the global edge activations.
             let mut edge_used = HashMap::new();
+            let mut a_def_rows: HashMap<(usize, usize), usize> = HashMap::new();
+            let mut a_cols: HashMap<(usize, usize), usize> = HashMap::new();
             for (e, sels) in &edge_to_selectors {
                 let a = enc
                     .model
@@ -330,10 +380,14 @@ pub fn encode_approx_with_threads(
                 for &s in sels {
                     sum.add_term(s, 1.0);
                 }
-                enc.model.add(sum.eq(0.0));
+                let def_row = enc.model.add(sum.eq(0.0));
                 let ev = enc.edge_var(e.0, e.1);
                 enc.model.add((LinExpr::from(a) - ev).leq(0.0));
                 edge_used.insert(*e, a);
+                if record_hooks {
+                    a_def_rows.insert(*e, def_row);
+                    a_cols.insert(*e, a.index());
+                }
             }
             replica_edge_used.push(edge_used.clone());
             enc.routes.push(EncodedRoute {
@@ -346,6 +400,25 @@ pub fn encode_approx_with_threads(
                     edge_used,
                 },
             });
+            if let Some(hooks) = enc.pricing.as_mut() {
+                let RouteVars::Approx { candidates, .. } = &enc.routes[enc.routes.len() - 1].vars
+                else {
+                    unreachable!("just pushed approx vars");
+                };
+                hooks.replicas.push(super::pricing_hooks::ReplicaHooks {
+                    route_idx: enc.routes.len() - 1,
+                    key: *key,
+                    family: route.family,
+                    replica: rep,
+                    src,
+                    dst,
+                    max_hops: fam.max_hops,
+                    gub_row,
+                    a_def_rows,
+                    a_cols,
+                    seen: candidates.iter().map(|c| c.nodes.clone()).collect(),
+                });
+            }
         }
 
         // Inter-replica link-disjointness: each edge may carry at most one
@@ -367,7 +440,10 @@ pub fn encode_approx_with_threads(
                     for v in users {
                         sum.add_term(v, 1.0);
                     }
-                    enc.model.add(sum.leq(1.0));
+                    let row = enc.model.add(sum.leq(1.0));
+                    if let Some(hooks) = enc.pricing.as_mut() {
+                        hooks.disjoint_rows.insert((*key, e), row);
+                    }
                 }
             }
         }

@@ -58,6 +58,7 @@ pub mod design;
 pub mod encode;
 pub mod explore;
 pub mod kstar;
+pub mod pricing;
 pub mod report;
 pub mod requirements;
 pub mod resilience;
@@ -71,6 +72,7 @@ pub use explore::{
     ExploreReport, ExploreStats, LadderOptions,
 };
 pub use kstar::{best_step, search_kstar, KstarSearch, KstarStep};
+pub use pricing::PathPricer;
 pub use report::{design_summary, design_to_svg, Table};
 pub use requirements::{Params, Protocol, Requirements};
 pub use resilience::{analyze_resilience, ResilienceReport};

@@ -71,6 +71,39 @@ proptest! {
         }
     }
 
+    /// Branch-and-price from a two-candidate seed reaches the same optimum
+    /// as a comfortably large K*: whatever candidates the truncation
+    /// dropped, the dual-driven pricing loop recovers. Cases where even the
+    /// two-candidate restricted master is infeasible are skipped (root
+    /// pricing starts from a feasible restriction; there is no Farkas
+    /// pricing).
+    #[test]
+    fn pricing_small_seed_matches_large_kstar(t in template_strategy()) {
+        let lib = catalog::zigbee_reference();
+        let spec = "set battery_mah = 3000\n\
+                    p = has_path(sensors, sink)\n\
+                    min_signal_to_noise(12)\n\
+                    min_network_lifetime(5)\n\
+                    objective minimize cost";
+        let req = Requirements::from_spec_text(spec).expect("spec parses");
+        let seed = explore(&t, &lib, &req, &ExploreOptions::approx(2)).expect("encodes");
+        if seed.status != milp::Status::Optimal {
+            return Ok(());
+        }
+        let wide = explore(&t, &lib, &req, &ExploreOptions::approx(8)).expect("encodes");
+        let priced = explore(&t, &lib, &req, &ExploreOptions::pricing(2)).expect("encodes");
+        prop_assert_eq!(priced.status, milp::Status::Optimal);
+        let wd = wide.design.expect("wide design");
+        let pd = priced.design.expect("priced design");
+        // Match-or-beat: bundles may recombine universe edges into paths
+        // outside the Yen list, so the priced optimum can undercut K* = 8.
+        prop_assert!(pd.objective <= wd.objective + 1e-6,
+            "priced objective {} worse than K*=8 objective {} ({} cols priced)",
+            pd.objective, wd.objective, priced.stats.cols_priced);
+        let violations = verify_design(&pd, &t, &lib, &req);
+        prop_assert!(violations.is_empty(), "priced design violates: {:?}", violations);
+    }
+
     /// The full encoding always needs at least as many constraints as the
     /// approximate one. (Variable counts can cross over on tiny templates,
     /// where the K* selector + edge-usage binaries outnumber the few alpha

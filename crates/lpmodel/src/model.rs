@@ -205,6 +205,24 @@ impl Model {
         let sol = Solver::new(cfg.clone()).solve(&self.problem);
         ModelSolution { sol }
     }
+
+    /// Solves the model with root column generation: `source` prices new
+    /// variables against the restricted LP duals (see
+    /// [`milp::Solver::solve_with_columns`]).
+    ///
+    /// The solution vector covers the model's variables followed by every
+    /// priced-in column in acceptance order. To read priced columns through
+    /// [`ModelSolution::value`], append matching variables to the model
+    /// *after* solving (e.g. via [`Model::binary`]) — the k-th appended
+    /// variable's [`Vid`] then addresses the k-th priced column.
+    pub fn solve_with_columns(
+        &self,
+        cfg: &Config,
+        source: &mut dyn milp::ColumnSource,
+    ) -> ModelSolution {
+        let sol = Solver::new(cfg.clone()).solve_with_columns(&self.problem, source);
+        ModelSolution { sol }
+    }
 }
 
 /// The result of [`Model::solve`].
@@ -363,6 +381,50 @@ mod tests {
         let s = m.solve(&Config::default());
         let e = 2.0 * x + 1.0;
         assert!((s.eval(&e) - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_with_columns_prices_through_the_model() {
+        use milp::{ColumnSource, NewColumn, PriceInput, PricedBatch};
+
+        // min 2x + 3y s.t. x + y >= 2. Root dual on the cover row is 2, so
+        // a unit column with cost 1 has reduced cost 1 - 2 < 0 and prices in.
+        struct Unit {
+            done: bool,
+        }
+        impl ColumnSource for Unit {
+            fn price(&mut self, input: &PriceInput<'_>) -> PricedBatch {
+                let mut batch = PricedBatch::default();
+                if !self.done && input.y[0] > 1.0 + input.rc_tol {
+                    self.done = true;
+                    batch.cols.push(NewColumn {
+                        obj: 1.0,
+                        lb: 0.0,
+                        ub: f64::INFINITY,
+                        integer: false,
+                        name: Some("priced".into()),
+                        entries: vec![(0, 1.0)],
+                    });
+                }
+                batch
+            }
+        }
+
+        let mut m = Model::minimize();
+        let x = m.cont("x", 0.0, 10.0);
+        let y = m.cont("y", 0.0, 10.0);
+        m.add((x + y).geq(2.0));
+        m.set_objective(2.0 * x + 3.0 * y);
+        let mut src = Unit { done: false };
+        let s = m.solve_with_columns(&Config::default(), &mut src);
+        assert!(s.is_optimal());
+        assert!((s.objective() - 2.0).abs() < 1e-6, "obj {}", s.objective());
+        assert_eq!(s.stats().cols_priced, 1);
+        // Materialize the priced column as a model variable to read it.
+        let mut m2 = m.clone();
+        let priced = m2.cont("priced", 0.0, f64::INFINITY);
+        assert!((s.value(priced) - 2.0).abs() < 1e-6);
+        assert!(s.value(x).abs() < 1e-6);
     }
 
     #[test]

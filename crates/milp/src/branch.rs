@@ -26,6 +26,7 @@ use crate::cuts;
 use crate::error::relock;
 use crate::heur;
 use crate::presolve::{presolve, Presolved};
+use crate::pricing::{self, ColumnSource};
 use crate::problem::{Problem, Sense, VarId, VarType};
 use crate::simplex::{solve_lp, LpData, LpStatus, VStat};
 use crate::solution::{Solution, Stats, Status};
@@ -144,6 +145,10 @@ struct SearchCtx<'a> {
     /// Shared cut pool; its applied list is append-only and globally
     /// ordered, so workers can extend local LP copies by prefix.
     cut_pool: &'a Mutex<cuts::CutPool>,
+    /// Lock-free mirror of the pool's applied length, written under the
+    /// pool lock by whoever applies cuts. Workers check it before locking,
+    /// so the common no-new-cuts node solve never touches the pool mutex.
+    cuts_applied_hint: &'a AtomicUsize,
     /// Cuts already baked into `lp` (the root cuts); node-level syncing
     /// starts from this prefix.
     root_cuts: usize,
@@ -280,12 +285,29 @@ fn dive_window(deadline: Option<Instant>, want_secs: f64) -> Option<Instant> {
 /// Solves `problem` by presolve + branch and bound. `start` anchors the time
 /// limit. Called through [`crate::Solver::solve`].
 pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
+    solve_milp_with(problem, cfg, start, None)
+}
+
+/// [`solve_milp`] with an optional column source for root column
+/// generation. When a source is supplied (and [`Config::colgen`] is
+/// enabled), presolve is forced to the identity so the row indices the
+/// source prices against are exactly the caller's encode-time indices, and
+/// the root LP is grown by a solve-price-reoptimize loop before cut
+/// separation. Called through [`crate::Solver::solve_with_columns`].
+pub fn solve_milp_with(
+    problem: &Problem,
+    cfg: &Config,
+    start: Instant,
+    columns: Option<&mut dyn ColumnSource>,
+) -> Solution {
     let deadline = cfg.time_limit.map(|d| start + d);
     let minimize = problem.sense() == Sense::Minimize;
     let mut stats = Stats::default();
 
     // --- Presolve ---
-    let ps: Presolved = if cfg.presolve {
+    // Pricing requires stable row indices (the source addresses rows by
+    // their encode-time position), so a column source forces the identity.
+    let mut ps: Presolved = if cfg.presolve && columns.is_none() {
         presolve(problem, minimize)
     } else {
         identity_presolved(problem)
@@ -300,26 +322,30 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
             _ => unreachable!("presolve only concludes infeasible/unbounded"),
         };
     }
-    let reduced = &ps.reduced;
 
     // --- Build internal (minimize) LP form ---
-    let n = reduced.num_vars();
+    // (`ps.reduced` is still mutable here: the pricing loop below may append
+    // columns to it; the long-lived `reduced` borrow is taken afterwards.)
+    let n = ps.reduced.num_vars();
     let sign = if minimize { 1.0 } else { -1.0 };
-    let c: Vec<f64> = reduced.objective().iter().map(|&v| sign * v).collect();
-    let (row_lb, row_ub): (Vec<f64>, Vec<f64>) =
-        reduced.row_ids().map(|r| reduced.row_bounds(r)).unzip();
+    let c: Vec<f64> = ps.reduced.objective().iter().map(|&v| sign * v).collect();
+    let (row_lb, row_ub): (Vec<f64>, Vec<f64>) = ps
+        .reduced
+        .row_ids()
+        .map(|r| ps.reduced.row_bounds(r))
+        .unzip();
     let mut lp = LpData {
-        a: reduced.matrix(),
+        a: ps.reduced.matrix(),
         c,
         row_lb,
         row_ub,
     };
-    let mut root_lb: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).0).collect();
-    let mut root_ub: Vec<f64> = (0..n).map(|j| reduced.var_bounds(VarId(j)).1).collect();
-    let int_vars: Vec<usize> = (0..n)
-        .filter(|&j| reduced.var_type(VarId(j)) != VarType::Continuous)
+    let mut root_lb: Vec<f64> = (0..n).map(|j| ps.reduced.var_bounds(VarId(j)).0).collect();
+    let mut root_ub: Vec<f64> = (0..n).map(|j| ps.reduced.var_bounds(VarId(j)).1).collect();
+    let mut int_vars: Vec<usize> = (0..n)
+        .filter(|&j| ps.reduced.var_type(VarId(j)) != VarType::Continuous)
         .collect();
-    let obj_offset = reduced.obj_offset();
+    let obj_offset = ps.reduced.obj_offset();
     let user_obj = |internal: f64| sign * internal + obj_offset;
 
     // --- Root LP ---
@@ -366,6 +392,32 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         LpStatus::Optimal => {}
     }
 
+    // --- Root column generation ---
+    // The pricing loop runs before cut separation: every Gomory cut below
+    // is derived on the final column set, so no cut is ever missing a
+    // coefficient for a priced-in variable. The loop grows `ps.reduced`,
+    // `lp`, the root bound vectors, and `int_vars` in lockstep, and leaves
+    // `root` optimal over the grown LP.
+    if let Some(source) = columns {
+        if cfg.colgen.enabled {
+            pricing::run_root_pricing(
+                source,
+                &mut ps,
+                &mut lp,
+                &mut root_lb,
+                &mut root_ub,
+                &mut int_vars,
+                cfg,
+                &mut root,
+                deadline,
+                sign,
+                &mut stats,
+            );
+        }
+    }
+    let reduced = &ps.reduced;
+    let int_vars = int_vars;
+
     // --- Root cutting planes ---
     // Separation rounds tighten the relaxation before any branching: each
     // round appends the pool's surviving cuts and dual-reoptimizes from the
@@ -395,6 +447,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         stats.lp_solves += cut_pool.rounds;
     }
     let root_cuts = cut_pool.applied_len();
+    let cuts_applied_hint = AtomicUsize::new(root_cuts);
     // Root LP bound after the cut rounds; the reported root gap measures
     // the incumbent against this tightened bound.
     let root_cut_bound = root.obj;
@@ -469,6 +522,7 @@ pub fn solve_milp(problem: &Problem, cfg: &Config, start: Instant) -> Solution {
         obj_offset,
         cut_ctx: &cut_ctx,
         cut_pool: &cut_pool,
+        cuts_applied_hint: &cuts_applied_hint,
         root_cuts,
     };
 
@@ -570,14 +624,21 @@ fn sync_cut_lp<'b>(
     local_lp: &'b mut Option<LpData>,
     local_cuts: &mut usize,
 ) -> &'b LpData {
-    let pool = relock(ctx.cut_pool);
-    let total = pool.applied_len();
-    if total > *local_cuts {
-        let rows = cuts::cuts_to_rows(&pool.applied()[*local_cuts..]);
-        drop(pool);
-        let lp = local_lp.get_or_insert_with(|| ctx.lp.clone());
-        lp.append_rows(&rows);
-        *local_cuts = total;
+    // Lock-free fast path: the hint is monotone and published (under the
+    // pool lock) by whoever applies cuts, so the steady state — no cuts
+    // since this worker last caught up — never touches the pool mutex. A
+    // stale read only delays the catch-up by one node; the cuts are
+    // globally valid either way.
+    if ctx.cuts_applied_hint.load(AtomicOrdering::Acquire) > *local_cuts {
+        let pool = relock(ctx.cut_pool);
+        let total = pool.applied_len();
+        if total > *local_cuts {
+            let rows = cuts::cuts_to_rows(&pool.applied()[*local_cuts..]);
+            drop(pool);
+            let lp = local_lp.get_or_insert_with(|| ctx.lp.clone());
+            lp.append_rows(&rows);
+            *local_cuts = total;
+        }
     }
     match local_lp {
         Some(lp) => lp,
@@ -778,6 +839,8 @@ fn search_sequential(
                         cfg.cuts.max_cuts_per_round,
                     );
                     let _ = pool.select(&r.x, &cfg.cuts);
+                    ctx.cuts_applied_hint
+                        .store(pool.applied_len(), AtomicOrdering::Release);
                 }
                 // Choose branching variable.
                 let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
@@ -1171,13 +1234,19 @@ fn search_parallel(
 /// its slot carries the node bound.
 fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> {
     let cfg = ctx.cfg;
+    // Starvation backoff: on an oversubscribed host a tight fixed-period
+    // poll steals the core from whichever worker is producing children, so
+    // the wait doubles (capped) each empty round and resets on success.
+    let mut wait = Duration::from_micros(50);
     loop {
         if shared.stop.load(AtomicOrdering::SeqCst) {
             return None;
         }
-        {
+        let popped = {
             let mut heap = relock(&shared.heap);
-            // Gap-based termination against the global open bound.
+            // Gap-based termination against the global open bound. The slot
+            // scan stays inside the lock: claims store their slot under it,
+            // so every open node is visible either in the heap or a slot.
             let heap_min = heap.peek().map_or(f64::INFINITY, |h| h.0.bound);
             let slot_min = shared
                 .slots
@@ -1193,18 +1262,32 @@ fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> 
                     return None;
                 }
             }
-            if let Some(HeapNode(nd)) = heap.pop() {
-                shared.active.fetch_add(1, AtomicOrdering::SeqCst);
-                shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
-                *relock(&shared.inflight[id]) = Some(nd.clone());
-                return Some(nd);
+            match heap.pop() {
+                Some(HeapNode(nd)) => {
+                    // Claim under the lock so idle peers never observe an
+                    // empty heap with zero active workers mid-handoff.
+                    shared.active.fetch_add(1, AtomicOrdering::SeqCst);
+                    shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
+                    Some(nd)
+                }
+                None => {
+                    if shared.active.load(AtomicOrdering::SeqCst) == 0 {
+                        return None; // tree exhausted
+                    }
+                    None
+                }
             }
-            if shared.active.load(AtomicOrdering::SeqCst) == 0 {
-                return None; // tree exhausted
-            }
+        };
+        if let Some(nd) = popped {
+            // The panic-recovery copy is cheap (the warm basis is Arc'd)
+            // but there is no reason to take the inflight lock — or clone
+            // at all — while holding the heap lock.
+            *relock(&shared.inflight[id]) = Some(nd.clone());
+            return Some(nd);
         }
         // Heap empty but peers are still expanding: wait for children.
-        std::thread::sleep(Duration::from_micros(50));
+        std::thread::sleep(wait);
+        wait = (wait * 2).min(Duration::from_millis(1));
     }
 }
 
@@ -1375,6 +1458,8 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                         cfg.cuts.max_cuts_per_round,
                     );
                     let _ = pool.select(&r.x, &cfg.cuts);
+                    ctx.cuts_applied_hint
+                        .store(pool.applied_len(), AtomicOrdering::Release);
                 }
                 let (bvar, _bfrac) = choose_branch(cfg, &pc, &r.x, ctx.int_vars, mf_var, mf_frac);
                 let xval = r.x[bvar];

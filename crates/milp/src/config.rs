@@ -132,6 +132,63 @@ impl CutConfig {
     }
 }
 
+/// Column-generation configuration: round limits and the reduced-cost
+/// acceptance tolerance of the root pricing loop.
+///
+/// Pricing is driven by a caller-supplied [`crate::pricing::ColumnSource`]
+/// (the solver core has no knowledge of what columns *mean*); these knobs
+/// only bound how long the solve-price-reoptimize loop runs. Because every
+/// priced column is a variable of the true (unrestricted) formulation,
+/// pricing can only improve the restricted optimum — termination with no
+/// acceptable column proves LP optimality over the full column set.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{ColGenConfig, Config};
+/// let cfg = Config::default().with_colgen(ColGenConfig::default());
+/// assert!(cfg.colgen.enabled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColGenConfig {
+    /// Master switch; `false` skips pricing even when a column source is
+    /// supplied.
+    pub enabled: bool,
+    /// Maximum solve-price-reoptimize rounds at the root.
+    pub max_rounds: usize,
+    /// Maximum columns accepted per round (most negative reduced cost
+    /// first; the source enforces this).
+    pub max_cols_per_round: usize,
+    /// A candidate column is accepted when its reduced cost is below
+    /// `-rc_tol` (minimization form).
+    pub rc_tol: f64,
+    /// Stop after this many consecutive rounds where the LP objective
+    /// fails to improve by more than `rc_tol` (degenerate stalling guard).
+    pub stall_rounds: usize,
+}
+
+impl Default for ColGenConfig {
+    fn default() -> Self {
+        ColGenConfig {
+            enabled: true,
+            max_rounds: 50,
+            max_cols_per_round: 20,
+            rc_tol: 1e-6,
+            stall_rounds: 5,
+        }
+    }
+}
+
+impl ColGenConfig {
+    /// A configuration with pricing disabled (pricing-off ablation).
+    pub fn off() -> Self {
+        ColGenConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
 /// Configuration for [`crate::Solver`].
 ///
 /// # Examples
@@ -203,6 +260,9 @@ pub struct Config {
     pub faults: Option<FaultInjection>,
     /// Cutting-plane separation settings.
     pub cuts: CutConfig,
+    /// Column-generation settings (consulted only when a column source is
+    /// supplied via [`crate::Solver::solve_with_columns`]).
+    pub colgen: ColGenConfig,
 }
 
 impl Default for Config {
@@ -230,6 +290,7 @@ impl Default for Config {
             cancel: None,
             faults: None,
             cuts: CutConfig::default(),
+            colgen: ColGenConfig::default(),
         }
     }
 }
@@ -318,6 +379,12 @@ impl Config {
         self
     }
 
+    /// Sets the column-generation configuration.
+    pub fn with_colgen(mut self, colgen: ColGenConfig) -> Self {
+        self.colgen = colgen;
+        self
+    }
+
     /// Whether the attached cancellation token (if any) has fired.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
@@ -381,6 +448,15 @@ mod tests {
         let off = Config::default().with_cuts(CutConfig::off());
         assert!(!off.cuts.enabled);
         assert!(!off.cuts.gomory && !off.cuts.cover && !off.cuts.clique);
+    }
+
+    #[test]
+    fn colgen_config_defaults_and_off() {
+        let d = Config::default();
+        assert!(d.colgen.enabled);
+        assert!(d.colgen.max_rounds >= 1 && d.colgen.max_cols_per_round >= 1);
+        let off = Config::default().with_colgen(ColGenConfig::off());
+        assert!(!off.colgen.enabled);
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //! * [`cuts`] — cutting-plane subsystem: round-based separation (Gomory
 //!   mixed-integer, knapsack cover, clique/GUB) through a deduplicating
 //!   pool, reoptimized with the dual simplex.
+//! * [`pricing`] — column-generation subsystem: a caller-supplied
+//!   [`pricing::ColumnSource`] prices improving variables against the root
+//!   LP duals; accepted columns are appended and warm-reoptimized, the
+//!   column mirror of the cut rounds.
 //! * [`presolve`] — bound tightening and row/column elimination with full
 //!   postsolve of the original solution vector.
 //! * [`lp_format`] — export to CPLEX LP text format for debugging against
@@ -52,12 +56,14 @@ pub mod heur;
 pub mod lp_format;
 pub mod lu;
 pub mod presolve;
+pub mod pricing;
 pub mod problem;
 pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
-pub use config::{Branching, Config, CutConfig, NodeSelection, PricingRule, ReoptMode};
+pub use config::{Branching, ColGenConfig, Config, CutConfig, NodeSelection, PricingRule, ReoptMode};
+pub use pricing::{ColumnSource, NewColumn, NewRow, PriceInput, PricedBatch};
 pub use error::{CancelToken, FaultInjection, SolveError};
 pub use problem::{Problem, Row, RowId, Sense, Var, VarId, VarType};
 pub use solution::{Solution, Stats, Status};
@@ -90,6 +96,20 @@ impl Solver {
     pub fn solve(&self, problem: &Problem) -> Solution {
         let start = Instant::now();
         branch::solve_milp(problem, &self.config, start)
+    }
+
+    /// Solves `problem` with root column generation: `source` is consulted
+    /// after each restricted root LP solve and may price in new variables
+    /// (see [`pricing::ColumnSource`]). The returned solution vector covers
+    /// the original variables *followed by every priced-in column, in
+    /// acceptance order* — callers that priced `k` columns read them at
+    /// indices `num_vars .. num_vars + k`.
+    ///
+    /// Presolve is forced to the identity in this mode so the row indices
+    /// the source addresses are the caller's own.
+    pub fn solve_with_columns(&self, problem: &Problem, source: &mut dyn ColumnSource) -> Solution {
+        let start = Instant::now();
+        branch::solve_milp_with(problem, &self.config, start, Some(source))
     }
 }
 

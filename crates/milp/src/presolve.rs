@@ -72,6 +72,24 @@ impl Presolved {
     pub fn original_num_vars(&self) -> usize {
         self.map.len()
     }
+
+    /// Registers `k` variables appended to the *reduced* problem after
+    /// presolve ran (priced-in columns). Each appended variable is also
+    /// appended to the original index space, mapped one-to-one onto the last
+    /// `k` reduced columns, so [`Presolved::postsolve`] keeps working on the
+    /// grown problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reduced problem has fewer than `k` variables.
+    pub fn register_appended_vars(&mut self, k: usize) {
+        let n_red = self.reduced.num_vars();
+        assert!(k <= n_red, "cannot register {} appended vars, reduced has {}", k, n_red);
+        for i in 0..k {
+            self.map.push(Some(n_red - k + i));
+            self.fixed_values.push(0.0);
+        }
+    }
 }
 
 struct Work {

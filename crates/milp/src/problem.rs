@@ -372,6 +372,22 @@ impl Problem {
         RowId(self.rows.len() - 1)
     }
 
+    /// Adds (accumulates) a coefficient for `var` on the existing row `r`.
+    ///
+    /// This is the column-append primitive: pricing enters a newly created
+    /// variable into rows that were built before it existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `var` is not part of this problem, or `c` is not
+    /// finite.
+    pub fn add_row_coef(&mut self, r: RowId, var: VarId, c: f64) {
+        assert!(c.is_finite(), "row coefficient must be finite");
+        assert!(r.0 < self.rows.len(), "coefficient references unknown row {}", r);
+        assert!(var.0 < self.vars.len(), "row references unknown variable {}", var);
+        self.rows[r.0].coefs.push((var, c));
+    }
+
     /// Variable bounds `(lower, upper)`.
     pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
         (self.vars[v.0].lower, self.vars[v.0].upper)

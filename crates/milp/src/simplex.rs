@@ -86,6 +86,12 @@ pub struct LpResult {
     /// basic and fixed variables). Meaningful when `status == Optimal`;
     /// used for reduced-cost variable fixing in branch and bound.
     pub dj: Vec<f64>,
+    /// Row duals `y = B^{-T} c_B` at termination (length = number of rows).
+    /// Meaningful when `status == Optimal`; the sign convention makes the
+    /// reduced cost of a candidate column `a` equal to `c_a - y^T a`, which
+    /// is what column-generation pricing consumes. Zeroed on perturbed
+    /// recovery rungs (alongside `dj`) so pricing never trusts them.
+    pub y: Vec<f64>,
     /// Recovery rungs consumed before this result was produced (0 = clean
     /// solve, 1 = Bland's-rule restart, 2 = perturb-and-retry).
     pub recoveries: usize,
@@ -94,6 +100,10 @@ pub struct LpResult {
 /// A ranged sparse row `(coefs, lb, ub)` over the structural variables,
 /// as consumed by [`LpData::append_rows`].
 pub type SparseRow = (Vec<(usize, f64)>, f64, f64);
+
+/// A structural column `(entries, cost)` over the existing rows, as consumed
+/// by [`LpData::append_cols`]. Entries are `(row, value)` pairs.
+pub type SparseCol = (Vec<(usize, f64)>, f64);
 
 /// The LP data in computational form, shared across warm-started solves.
 ///
@@ -152,6 +162,34 @@ impl LpData {
             }
             self.row_lb.push(*lo);
             self.row_ub.push(*hi);
+        }
+        self.a = b.build();
+    }
+
+    /// Appends extra structural columns (priced-in variables) in one rebuild.
+    ///
+    /// Each entry is `(entries, cost)` over the *existing* rows. The new
+    /// columns extend the structural block, shifting the slack block right
+    /// by `cols.len()`: an existing status vector stays index-consistent when
+    /// spliced as `[old structural] + [one VStat per new column] + [old
+    /// slacks]`. Entering the new columns nonbasic at a bound that satisfies
+    /// every row (for pricing, at lower bound zero) keeps the old basis
+    /// primal-feasible, so a warm Phase-2 primal reoptimization converges in
+    /// a few pivots — the column mirror of [`LpData::append_rows`].
+    pub fn append_cols(&mut self, cols: &[SparseCol]) {
+        if cols.is_empty() {
+            return;
+        }
+        let n0 = self.num_vars();
+        let mut b = crate::sparse::TripletBuilder::new(self.num_rows(), n0 + cols.len());
+        for (r, c, v) in self.a.triplets() {
+            b.push(r, c, v);
+        }
+        for (j, (entries, cost)) in cols.iter().enumerate() {
+            for &(r, v) in entries {
+                b.push(r, n0 + j, v);
+            }
+            self.c.push(*cost);
         }
         self.a = b.build();
     }
@@ -1162,6 +1200,15 @@ impl<'a> Engine<'a> {
     }
 
     fn result(&self, status: LpStatus) -> LpResult {
+        // Row duals y = B^{-T} c_B off the final factorization. The slack of
+        // row r enters the augmented system as -e_r with zero cost, so its
+        // reduced cost is 0 - y^T(-e_r) = y_r; for structural column a_j the
+        // reduced cost is c_j - y^T a_j, the form pricing needs.
+        let mut y = vec![0.0; self.m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            y[i] = self.cost[j];
+        }
+        self.fact.btran(&mut y);
         LpResult {
             status,
             obj: self.objective(),
@@ -1171,6 +1218,7 @@ impl<'a> Engine<'a> {
             dual_iters: self.dual_iters,
             statuses: self.status.clone(),
             dj: self.dj[..self.n].to_vec(),
+            y,
             recoveries: 0,
         }
     }
@@ -1247,6 +1295,7 @@ fn solve_lp_attempt(
         // zeroed out so downstream fixing never trusts them.
         r.obj = (0..lp.num_vars()).map(|j| lp.c[j] * r.x[j]).sum();
         r.dj.iter_mut().for_each(|d| *d = 0.0);
+        r.y.iter_mut().for_each(|v| *v = 0.0);
     }
     Ok(r)
 }
@@ -1290,6 +1339,7 @@ pub fn solve_lp(
                 dual_iters: 0,
                 statuses: Vec::new(),
                 dj: Vec::new(),
+                y: Vec::new(),
                 recoveries: 0,
             });
         }
@@ -1387,6 +1437,73 @@ mod tests {
         assert!((r.obj - 12.0).abs() < 1e-7, "obj = {}", r.obj);
         assert!((r.x[0] - 3.0).abs() < 1e-7);
         assert!((r.x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duals_satisfy_reduced_cost_identity() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 => min -3x - 2y.
+        // Optimum (4, 0): row 0 binds (y0 = -3), row 1 is slack (y1 = 0).
+        let data = lp(
+            &[
+                (&[(0, 1.0), (1, 1.0)], -INF, 4.0),
+                (&[(0, 1.0), (1, 3.0)], -INF, 6.0),
+            ],
+            2,
+            &[-3.0, -2.0],
+        );
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &Config::default(), None, None).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_eq!(r.y.len(), 2);
+        assert!((r.y[0] + 3.0).abs() < 1e-7, "y = {:?}", r.y);
+        assert!(r.y[1].abs() < 1e-7, "y = {:?}", r.y);
+        // Reduced-cost identity c_j - y^T a_j for both structural columns.
+        for j in 0..2 {
+            let rc = data.c[j] - data.a.col_dot(j, &r.y);
+            if (r.x[j]).abs() > 1e-7 {
+                assert!(rc.abs() < 1e-7, "basic column rc = {rc}");
+            } else {
+                assert!(rc > -1e-7, "nonbasic column rc = {rc}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_cols_warm_reoptimizes() {
+        // Start from the classic max LP, then price in a dominant column.
+        let mut data = lp(
+            &[
+                (&[(0, 1.0), (1, 1.0)], -INF, 4.0),
+                (&[(0, 1.0), (1, 3.0)], -INF, 6.0),
+            ],
+            2,
+            &[-3.0, -2.0],
+        );
+        let cfg = Config::default();
+        let r = solve_lp(&data, &[0.0, 0.0], &[INF, INF], &cfg, None, None).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        // New column z: cost -5, enters row 0 only. rc = -5 - y0 = -2 < 0.
+        let rc = -5.0 - r.y[0];
+        assert!(rc < 0.0, "appended column should be improving, rc = {rc}");
+        data.append_cols(&[(vec![(0, 1.0)], -5.0)]);
+        assert_eq!(data.num_vars(), 3);
+        // Splice the warm statuses: old structurals, new col at lower bound,
+        // then the untouched slack block.
+        let mut warm = r.statuses[..2].to_vec();
+        warm.push(VStat::AtLower);
+        warm.extend_from_slice(&r.statuses[2..]);
+        let r2 = solve_lp(
+            &data,
+            &[0.0, 0.0, 0.0],
+            &[INF, INF, INF],
+            &cfg,
+            Some(&warm),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r2.status, LpStatus::Optimal);
+        // Optimum moves to z = 4: obj = -20.
+        assert!((r2.obj + 20.0).abs() < 1e-7, "obj = {}", r2.obj);
+        assert!((r2.x[2] - 4.0).abs() < 1e-7, "x = {:?}", r2.x);
     }
 
     #[test]

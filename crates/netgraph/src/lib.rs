@@ -27,10 +27,12 @@
 pub mod dijkstra;
 pub mod generate;
 pub mod graph;
+pub mod oracle;
 pub mod paths;
 pub mod yen;
 
 pub use dijkstra::{distances_from, shortest_path, shortest_path_filtered, Bans};
 pub use graph::{DiGraph, EdgeId, NodeId};
+pub use oracle::{best_path_above, best_path_hop_bounded};
 pub use paths::{max_disjoint_subset, Path};
 pub use yen::{k_shortest_paths, k_shortest_paths_filtered};

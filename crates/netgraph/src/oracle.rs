@@ -1,0 +1,371 @@
+//! Pricing oracle: best *simple* path under arbitrary-sign edge weights.
+//!
+//! Column generation prices candidate routes against the restricted LP's
+//! duals: each template edge gets a dual-derived weight (any sign), and an
+//! improving column exists iff some simple `src -> dst` path has total
+//! weight above a threshold. Dijkstra cannot maximize over negative/positive
+//! mixed weights, so this module runs a hop-bounded label-setting DP over
+//! (node, visited-set) states — exact over simple paths within the hop
+//! bound, which is all the pricer needs for a sound "no improving column"
+//! certificate.
+//!
+//! State count is bounded by the number of simple paths from `src` of at
+//! most `max_hops` edges; a label budget caps pathological blowups (the
+//! result is then still a valid simple path, merely possibly suboptimal).
+
+use crate::graph::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Safety valve on the label-setting DP: once this many labels exist the
+/// search stops expanding and returns the best path found so far. Template
+/// graphs in this stack (tens of nodes, hop bounds around 10) stay far
+/// below the cap, so results are exact in practice.
+const MAX_LABELS: usize = 200_000;
+
+/// Visited-node bitset sized to the graph (`ceil(n / 64)` words).
+type Mask = Vec<u64>;
+
+fn mask_with(n: usize, v: usize) -> Mask {
+    let mut m = vec![0u64; n.div_ceil(64)];
+    m[v / 64] |= 1 << (v % 64);
+    m
+}
+
+fn mask_test(m: &Mask, v: usize) -> bool {
+    m[v / 64] & (1 << (v % 64)) != 0
+}
+
+fn mask_set(m: &Mask, v: usize) -> Mask {
+    let mut out = m.clone();
+    out[v / 64] |= 1 << (v % 64);
+    out
+}
+
+struct Label {
+    node: NodeId,
+    weight: f64,
+    pred: Option<usize>,
+    mask: Mask,
+}
+
+/// Finds a maximum-weight *simple* path from `src` to `dst` using at most
+/// `max_hops` edges, where `weight(e)` may be any sign. Edges whose weight
+/// is not finite (e.g. `f64::NEG_INFINITY` for banned links) are skipped.
+///
+/// Returns the node sequence and its total weight, or `None` when no
+/// admissible path exists (including `src == dst`, which is never a route).
+///
+/// Exact over simple paths within the hop bound unless the internal label
+/// budget is exhausted (see module docs); ties break arbitrarily.
+pub fn best_path_hop_bounded(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    weight: impl Fn(crate::graph::EdgeId) -> f64,
+) -> Option<(f64, Vec<NodeId>)> {
+    best_path_above(g, src, dst, max_hops, f64::NEG_INFINITY, weight)
+}
+
+/// [`best_path_hop_bounded`] restricted to paths of total weight above
+/// `floor`: returns `None` when no admissible path clears it.
+///
+/// The floor is also a pruning lever, which is why pricing calls this
+/// variant directly: a partial path whose weight plus the sum of *all*
+/// positive edge weights (an upper bound on any simple suffix) cannot beat
+/// `floor` — or the incumbent — is abandoned immediately. Under LP-dual
+/// weights almost every edge is penalized (negative), so the search only
+/// develops near-improving prefixes instead of the full (node, visited-set)
+/// state space.
+pub fn best_path_above(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    floor: f64,
+    weight: impl Fn(crate::graph::EdgeId) -> f64,
+) -> Option<(f64, Vec<NodeId>)> {
+    let n = g.num_nodes();
+    if src == dst || src.index() >= n || dst.index() >= n || max_hops == 0 {
+        return None;
+    }
+
+    // Upper bound on the weight of any simple suffix: no suffix can collect
+    // more than every positive edge in the graph.
+    let mut total_pos = 0.0;
+    for v in 0..n {
+        for (e, _, _) in g.out_edges(NodeId(v)) {
+            let w = weight(e);
+            if w.is_finite() && w > 0.0 {
+                total_pos += w;
+            }
+        }
+    }
+
+    // Arena of all labels; `best` maps (node, visited-set) to the arena
+    // index of the best-weight label for that state. Because the mask
+    // fixes the hop count (its popcount), states never alias across hops.
+    let mut arena: Vec<Label> = vec![Label {
+        node: src,
+        weight: 0.0,
+        pred: None,
+        mask: mask_with(n, src.index()),
+    }];
+    let mut best: HashMap<(usize, Mask), usize> = HashMap::new();
+    let mut frontier: Vec<usize> = vec![0];
+    let mut incumbent: Option<usize> = None;
+    // Prune against the floor until an incumbent beats it.
+    let mut bar = floor;
+
+    for _hop in 0..max_hops {
+        if frontier.is_empty() || arena.len() >= MAX_LABELS {
+            break;
+        }
+        let mut next: Vec<usize> = Vec::new();
+        for &li in &frontier {
+            let (from, w0) = (arena[li].node, arena[li].weight);
+            // A simple path cannot pass through dst and come back, so
+            // labels that reached dst are recorded but never expanded.
+            debug_assert_ne!(from, dst);
+            for (e, to, _) in g.out_edges(from) {
+                let we = weight(e);
+                if !we.is_finite() || mask_test(&arena[li].mask, to.index()) {
+                    continue;
+                }
+                let w = w0 + we;
+                if w + total_pos <= bar {
+                    continue;
+                }
+                let mask = mask_set(&arena[li].mask, to.index());
+                let key = (to.index(), mask.clone());
+                match best.get(&key) {
+                    Some(&bi) if arena[bi].weight >= w => continue,
+                    _ => {}
+                }
+                let idx = arena.len();
+                arena.push(Label {
+                    node: to,
+                    weight: w,
+                    pred: Some(li),
+                    mask,
+                });
+                if let Some(prev) = best.insert(key, idx) {
+                    // Dominated label: drop it from the next frontier lazily
+                    // (checked below via the `best` map).
+                    let _ = prev;
+                }
+                if to == dst {
+                    if incumbent.is_none_or(|bi| arena[bi].weight < w) {
+                        incumbent = Some(idx);
+                        bar = bar.max(w);
+                    }
+                } else {
+                    next.push(idx);
+                }
+                if arena.len() >= MAX_LABELS {
+                    break;
+                }
+            }
+        }
+        // Keep only labels that still own their (node, mask) state.
+        next.retain(|&i| best.get(&(arena[i].node.index(), arena[i].mask.clone())) == Some(&i));
+        frontier = next;
+    }
+
+    let mut at = incumbent?;
+    let total = arena[at].weight;
+    if total <= floor {
+        return None;
+    }
+    let mut nodes = vec![arena[at].node];
+    while let Some(p) = arena[at].pred {
+        at = p;
+        nodes.push(arena[at].node);
+    }
+    nodes.reverse();
+    Some((total, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DiGraph, EdgeId};
+
+    fn weights(g: &DiGraph) -> impl Fn(EdgeId) -> f64 + '_ {
+        move |e| g.weight(e)
+    }
+
+    #[test]
+    fn picks_heavier_of_two_routes() {
+        // 0 -> 1 -> 3 (total 2), 0 -> 2 -> 3 (total 4): maximize picks the
+        // latter even though Dijkstra-style minimization would not.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 2.0);
+        let (w, nodes) = best_path_hop_bounded(&g, NodeId(0), NodeId(3), 4, weights(&g)).unwrap();
+        assert!((w - 4.0).abs() < 1e-12);
+        assert_eq!(nodes, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn hop_bound_restricts_choices() {
+        // The heavy route needs 3 hops; with max_hops = 2 only the direct
+        // 2-hop route qualifies.
+        let mut g = DiGraph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(4), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 5.0);
+        g.add_edge(NodeId(2), NodeId(3), 5.0);
+        g.add_edge(NodeId(3), NodeId(4), 5.0);
+        let (w, nodes) = best_path_hop_bounded(&g, NodeId(0), NodeId(4), 2, weights(&g)).unwrap();
+        assert!((w - 2.0).abs() < 1e-12);
+        assert_eq!(nodes.len(), 3);
+        let (w3, _) = best_path_hop_bounded(&g, NodeId(0), NodeId(4), 3, weights(&g)).unwrap();
+        assert!((w3 - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_cycle_does_not_trap_the_dp() {
+        // 1 <-> 2 is a positive-weight cycle; a walk DP would loop it, the
+        // simple-path DP must return the acyclic optimum.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 10.0);
+        g.add_edge(NodeId(2), NodeId(1), 10.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        let (w, nodes) = best_path_hop_bounded(&g, NodeId(0), NodeId(3), 10, weights(&g)).unwrap();
+        assert!((w - 12.0).abs() < 1e-12);
+        assert_eq!(
+            nodes,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            "path must be simple"
+        );
+    }
+
+    #[test]
+    fn negative_weights_allowed() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), -1.0);
+        g.add_edge(NodeId(1), NodeId(2), -2.0);
+        let (w, nodes) = best_path_hop_bounded(&g, NodeId(0), NodeId(2), 5, weights(&g)).unwrap();
+        assert!((w + 3.0).abs() < 1e-12);
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn non_finite_weight_bans_an_edge() {
+        let mut g = DiGraph::new(3);
+        let banned = g.add_edge(NodeId(0), NodeId(2), 100.0);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let (w, nodes) = best_path_hop_bounded(&g, NodeId(0), NodeId(2), 5, |e| {
+            if e == banned {
+                f64::NEG_INFINITY
+            } else {
+                g.weight(e)
+            }
+        })
+        .unwrap();
+        assert!((w - 2.0).abs() < 1e-12);
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn floor_filters_and_prunes_consistently() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 2.0);
+        // Floor below the optimum: identical answer to the unrestricted run.
+        let (w, nodes) =
+            best_path_above(&g, NodeId(0), NodeId(3), 4, 3.5, weights(&g)).unwrap();
+        assert!((w - 4.0).abs() < 1e-12);
+        assert_eq!(nodes, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        // Floor at or above the optimum: no qualifying path.
+        assert!(best_path_above(&g, NodeId(0), NodeId(3), 4, 4.0, weights(&g)).is_none());
+        assert!(best_path_above(&g, NodeId(0), NodeId(3), 4, 99.0, weights(&g)).is_none());
+        // All-negative weights with a permissive floor still work (pruning
+        // must not discard the only admissible labels).
+        let mut h = DiGraph::new(3);
+        h.add_edge(NodeId(0), NodeId(1), -1.0);
+        h.add_edge(NodeId(1), NodeId(2), -2.0);
+        let (w, _) =
+            best_path_above(&h, NodeId(0), NodeId(2), 5, -10.0, weights(&h)).unwrap();
+        assert!((w + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_and_degenerate_cases() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        assert!(best_path_hop_bounded(&g, NodeId(0), NodeId(2), 5, weights(&g)).is_none());
+        assert!(best_path_hop_bounded(&g, NodeId(0), NodeId(0), 5, weights(&g)).is_none());
+        assert!(best_path_hop_bounded(&g, NodeId(0), NodeId(1), 0, weights(&g)).is_none());
+    }
+
+    #[test]
+    fn exhaustive_check_on_random_dense_graph() {
+        // Cross-check the DP against brute-force enumeration of all simple
+        // paths on a small dense graph with mixed-sign weights.
+        let n = 6;
+        let mut g = DiGraph::new(n);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.add_edge(NodeId(i), NodeId(j), rnd() * 10.0);
+                }
+            }
+        }
+        // Brute force: DFS over simple paths up to the hop bound.
+        fn dfs(
+            g: &DiGraph,
+            at: NodeId,
+            dst: NodeId,
+            hops_left: usize,
+            visited: &mut Vec<bool>,
+            acc: f64,
+            best: &mut Option<f64>,
+        ) {
+            if at == dst {
+                if best.is_none_or(|b| b < acc) {
+                    *best = Some(acc);
+                }
+                return;
+            }
+            if hops_left == 0 {
+                return;
+            }
+            for (e, to, w) in g.out_edges(at) {
+                let _ = e;
+                if !visited[to.index()] {
+                    visited[to.index()] = true;
+                    dfs(g, to, dst, hops_left - 1, visited, acc + w, best);
+                    visited[to.index()] = false;
+                }
+            }
+        }
+        for max_hops in 1..=5 {
+            let mut visited = vec![false; n];
+            visited[0] = true;
+            let mut brute = None;
+            dfs(&g, NodeId(0), NodeId(n - 1), max_hops, &mut visited, 0.0, &mut brute);
+            let dp = best_path_hop_bounded(&g, NodeId(0), NodeId(n - 1), max_hops, weights(&g));
+            match (brute, dp) {
+                (Some(b), Some((w, nodes))) => {
+                    assert!((b - w).abs() < 1e-9, "hops={max_hops}: brute {b} vs dp {w}");
+                    assert!(nodes.len() <= max_hops + 1);
+                }
+                (None, None) => {}
+                other => panic!("hops={max_hops}: mismatch {other:?}"),
+            }
+        }
+    }
+}

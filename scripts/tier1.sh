@@ -8,6 +8,13 @@
 #      within a 30 s solver budget (warns when short of Optimal)
 #   5. cuts smoke: root separation must apply cuts on that row and must
 #      not degrade the solve status vs cuts-off
+#   6. pricing smoke: branch-and-price from a two-candidate seed must
+#      price columns on that row and deliver a verified feasible design
+#      within the budget; when both sides prove optimality the priced
+#      objective must match or beat the plain one (priced bundles
+#      recombine link-universe edges into paths the Yen truncation never
+#      saw, so the design may beat K* = 10 while the optimality proof
+#      over the larger space lags — that regime only warns)
 #
 # Run from the repository root:  ./scripts/tier1.sh
 set -euo pipefail
@@ -75,5 +82,50 @@ if [ "$(status_rank "$on_status")" -lt "$(status_rank "$off_status")" ]; then
     exit 1
 fi
 echo "tier1: cuts smoke OK ($applied cuts applied, $on_status vs $off_status)"
+
+echo "== tier1: pricing smoke ([50/20] row, branch-and-price from K*=2) =="
+# The same table3 run also emits the pricing ablation records. The
+# dual-driven path oracle must actually price columns on this workload (a
+# two-candidate seed is not optimal on its own), pricing must not degrade
+# the solve status vs the plain K*=10 encoding, and when both sides prove
+# optimality the priced objective must match or beat the plain one —
+# branch-and-price recovers what the truncation dropped and may improve
+# on it by recombining link-universe edges into unseen paths (table3
+# independently re-verifies every priced design before recording it).
+pr_on_rec="$(grep -o '"kind":"pricing_on"[^}]*' "$T3_SMOKE_JSON")"
+pr_off_rec="$(grep -o '"kind":"pricing_off"[^}]*' "$T3_SMOKE_JSON")"
+priced="$(echo "$pr_on_rec" | sed -n 's/.*"cols_priced":\([0-9]*\).*/\1/p')"
+if [ -z "${priced:-}" ] || [ "$priced" -eq 0 ]; then
+    echo "tier1: pricing smoke FAILED — no columns priced on the [50/20] row:" >&2
+    echo "$pr_on_rec" >&2
+    exit 1
+fi
+pron_status="$(echo "$pr_on_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+proff_status="$(echo "$pr_off_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+pron_obj="$(echo "$pr_on_rec" | sed -n 's/.*"objective":\([0-9.eE+-]*\).*/\1/p')"
+proff_obj="$(echo "$pr_off_rec" | sed -n 's/.*"objective":\([0-9.eE+-]*\).*/\1/p')"
+# The priced side must deliver *a* verified design within the budget
+# (table3 aborts on any design that fails independent re-verification).
+if [ -z "${pron_obj:-}" ]; then
+    echo "tier1: pricing smoke FAILED — pricing_on produced no feasible design (status $pron_status):" >&2
+    echo "$pr_on_rec" >&2
+    exit 1
+fi
+# When both sides prove optimality, match-or-beat is a hard guarantee.
+# Under the 30 s smoke budget the priced model — which optimizes over a
+# strictly larger path space — often cannot finish its proof while the
+# plain K* = 10 encoding can, and its incumbent at the cutoff is
+# trajectory-dependent; that regime only warns (the deterministic
+# small-instance tests in crates/core pin the match-or-beat guarantee).
+if [ "$pron_status" = "Optimal" ] && [ "$proff_status" = "Optimal" ]; then
+    if ! awk -v a="$pron_obj" -v b="$proff_obj" \
+        'BEGIN { exit !(a <= b + 1e-4 * (1 + (b < 0 ? -b : b))) }'; then
+        echo "tier1: pricing smoke FAILED — pricing_on objective $pron_obj worse than pricing_off $proff_obj" >&2
+        exit 1
+    fi
+elif [ "$(status_rank "$pron_status")" -lt "$(status_rank "$proff_status")" ]; then
+    echo "tier1: pricing smoke WARNING — pricing_on status $pron_status (obj $pron_obj) vs pricing_off $proff_status (obj ${proff_obj:-none}) within the smoke budget" >&2
+fi
+echo "tier1: pricing smoke OK ($priced cols priced, $pron_status vs $proff_status)"
 
 echo "tier1: OK"
