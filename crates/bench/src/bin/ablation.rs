@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Ablation study** — design choices of this reproduction, measured:
 //!
 //! 1. Link-quality linearization: exact pair conflicts (ours) vs the

@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Runs every table and figure experiment in sequence (the full paper
 //! reproduction). Equivalent to running `table1`..`table4` and `figure1`
 //! one after another; honors all their environment knobs.

@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Figure 1** — (a) the data-collection template (sensors, base station,
 //! candidate relay locations); (b) the generated data-collection topology;
 //! (c) evaluation points and generated anchor placement for the

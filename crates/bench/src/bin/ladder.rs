@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Ladder** — exercises the graceful-degradation ladder
 //! (`archex::explore_resilient`) on a workload whose first rung is too
 //! coarse: `K* = 1` proposes only the direct sensor-to-sink link, the SNR

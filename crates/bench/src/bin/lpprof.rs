@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! LP micro-profiler: times the root LP of a data-collection encoding and
 //! its warm restarts, to locate solver hot spots.
 //!

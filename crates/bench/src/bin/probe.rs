@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Scale probe: how big a workload can the home-grown MILP stack solve in
 //! reasonable time? Used to calibrate the table experiments.
 //!

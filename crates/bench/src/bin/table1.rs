@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Table 1** — Final number of nodes, dollar cost, average node lifetime
 //! (years), and solver time for a data-collection WSN optimized for
 //! different objectives.

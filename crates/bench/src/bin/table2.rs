@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Table 2** — Final number of nodes, dollar cost, average number of
 //! reachable anchors, and solver time for a localization network optimized
 //! for different objectives.

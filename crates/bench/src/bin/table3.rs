@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Table 3** — Number of constraints and solver time for different
 //! network architecture sizes: approximate path encoding (Algorithm 1,
 //! K* = 10) vs full enumeration of paths.
@@ -86,6 +89,9 @@ fn record(
         pricing_rounds: out.stats.pricing_rounds,
         pricing_s: out.stats.pricing_time.as_secs_f64(),
         oversubscribed: eff > host,
+        checkpoint_s: out.stats.checkpoint_time.as_secs_f64(),
+        checkpoints_written: out.stats.checkpoints_written,
+        resumed: out.stats.resumed,
     }
 }
 
@@ -242,6 +248,58 @@ fn main() {
                 out.stats.encode_time.as_secs_f64(),
                 out.stats.num_cons,
             ));
+        }
+    }
+
+    // --- Checkpoint-overhead ablation on the [50 / 20] row ---
+    // Same workload solved cold and with periodic checkpointing (250 ms
+    // cadence); the acceptance bar is < 5% wall-time overhead, recorded in
+    // BENCH_solver.json as the ckpt_off/ckpt_on pair. `T3_CKPT=0` skips.
+    if env_usize("T3_CKPT", 1) != 0 {
+        let (total, end) = (50, 20);
+        let w = data_collection_workload(total, end, "cost");
+        let frame = std::env::temp_dir().join(format!("table3_ckpt_{}.frame", std::process::id()));
+        println!("\nCheckpoint ablation on [{} / {}]:", total, end);
+        let mut walls: Vec<f64> = Vec::new();
+        for (kind, on) in [("ckpt_off", false), ("ckpt_on", true)] {
+            let mut opts = ExploreOptions::approx(10);
+            opts.solver.time_limit = Some(tl);
+            opts.solver.rel_gap = 0.005;
+            if on {
+                opts.solver.checkpoint = Some(
+                    milp::CheckpointConfig::new(frame.clone())
+                        .with_cadence(std::time::Duration::from_millis(250)),
+                );
+            }
+            let out = explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
+            walls.push(out.stats.solve_time.as_secs_f64());
+            println!(
+                "  {:<8}: {:>7.2} s, {:>6} nodes, {} frames written, {:.4} s checkpointing",
+                kind,
+                out.stats.solve_time.as_secs_f64(),
+                out.stats.bb_nodes,
+                out.stats.checkpoints_written,
+                out.stats.checkpoint_time.as_secs_f64(),
+            );
+            records.push(record(
+                kind,
+                (total, end),
+                &opts,
+                &out,
+                out.stats.encode_time.as_secs_f64(),
+                out.stats.num_cons,
+            ));
+        }
+        if let [off, on] = walls[..] {
+            println!(
+                "  overhead: {:+.2}% wall time",
+                (on - off) / off.max(1e-9) * 100.0
+            );
+        }
+        for suffix in ["", ".prev", ".tmp"] {
+            let mut p = frame.as_os_str().to_owned();
+            p.push(suffix);
+            let _ = std::fs::remove_file(PathBuf::from(p));
         }
     }
 

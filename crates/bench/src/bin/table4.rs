@@ -1,3 +1,6 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! **Table 4** — Costs and solver times for data-collection networks
 //! synthesized using different values of `K*`, compared with the exact
 //! optimum (full enumeration) on the small template.

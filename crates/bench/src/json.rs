@@ -56,6 +56,14 @@ pub struct SolverRecord {
     /// cores — scaling numbers from such runs measure time-slicing, not
     /// parallel speedup.
     pub oversubscribed: bool,
+    /// Seconds spent assembling and writing checkpoint frames (the
+    /// durability overhead charged against the solver deadline).
+    pub checkpoint_s: f64,
+    /// Checkpoint frames durably written during the run.
+    pub checkpoints_written: usize,
+    /// True when the run continued from a checkpoint frame instead of
+    /// starting cold.
+    pub resumed: bool,
 }
 
 fn json_f64(v: f64) -> String {
@@ -76,7 +84,8 @@ impl SolverRecord {
                 "\"pivots\":{},\"phase1_pivots\":{},",
                 "\"cuts_applied\":{},\"cut_rounds\":{},\"root_gap\":{},",
                 "\"cols_priced\":{},\"pricing_rounds\":{},\"pricing_s\":{},",
-                "\"oversubscribed\":{}}}"
+                "\"oversubscribed\":{},\"checkpoint_s\":{},",
+                "\"checkpoints_written\":{},\"resumed\":{}}}"
             ),
             self.kind,
             self.total,
@@ -98,6 +107,9 @@ impl SolverRecord {
             self.pricing_rounds,
             json_f64(self.pricing_s),
             self.oversubscribed,
+            json_f64(self.checkpoint_s),
+            self.checkpoints_written,
+            self.resumed,
         )
     }
 }
@@ -243,6 +255,9 @@ mod tests {
             pricing_rounds: 4,
             pricing_s: 0.5,
             oversubscribed: true,
+            checkpoint_s: 0.025,
+            checkpoints_written: 3,
+            resumed: true,
         };
         let s = r.to_json();
         assert!(s.starts_with('{') && s.ends_with('}'));
@@ -257,6 +272,9 @@ mod tests {
         assert!(s.contains("\"pricing_rounds\":4"));
         assert!(s.contains("\"pricing_s\":0.500000"));
         assert!(s.contains("\"oversubscribed\":true"));
+        assert!(s.contains("\"checkpoint_s\":0.025000"));
+        assert!(s.contains("\"checkpoints_written\":3"));
+        assert!(s.contains("\"resumed\":true"));
         let r2 = SolverRecord {
             objective: None,
             ..r

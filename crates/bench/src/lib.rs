@@ -1,3 +1,7 @@
+// Benchmark code reports failures through stderr/exit codes, not panics;
+// `.expect()` with a message is the accepted escape hatch.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Shared workload generators and helpers for the benchmark harness.
 //!
 //! Every table/figure binary builds its inputs through this crate so the

@@ -372,7 +372,13 @@ pub fn encode_approx_with_threads(
             let mut edge_used = HashMap::new();
             let mut a_def_rows: HashMap<(usize, usize), usize> = HashMap::new();
             let mut a_cols: HashMap<(usize, usize), usize> = HashMap::new();
-            for (e, sels) in &edge_to_selectors {
+            // Sorted edge order: variable/row creation order must be
+            // process-independent or checkpoint fingerprints (which hash
+            // the base LP) would reject frames written by a previous run.
+            let mut edge_order: Vec<(usize, usize)> = edge_to_selectors.keys().copied().collect();
+            edge_order.sort_unstable();
+            for e in &edge_order {
+                let sels = &edge_to_selectors[e];
                 let a = enc
                     .model
                     .binary(format!("a_{}_{}_{}_{}_{}", fam.name, src, rep, e.0, e.1));
@@ -480,10 +486,16 @@ pub fn encode_full(
             enc.model.add((LinExpr::from(a) - ev).leq(0.0));
             alpha.insert((i, j), a);
         }
+        // Deterministic edge order for every row built off `alpha`: term
+        // and row order must not depend on HashMap iteration (see the
+        // checkpoint-fingerprint note in `encode_approx`).
+        let mut alpha_order: Vec<(usize, usize)> = alpha.keys().copied().collect();
+        alpha_order.sort_unstable();
         // (1a) flow balance.
         for v in 0..n {
             let mut bal = LinExpr::zero();
-            for (&(i, j), &a) in &alpha {
+            for &(i, j) in &alpha_order {
+                let a = alpha[&(i, j)];
                 if i == v {
                     bal.add_term(a, 1.0);
                 }
@@ -505,7 +517,8 @@ pub fn encode_full(
         for v in 0..n {
             let mut outdeg = LinExpr::zero();
             let mut indeg = LinExpr::zero();
-            for (&(i, j), &a) in &alpha {
+            for &(i, j) in &alpha_order {
+                let a = alpha[&(i, j)];
                 if i == v {
                     outdeg.add_term(a, 1.0);
                 }
@@ -523,8 +536,8 @@ pub fn encode_full(
         // (1e) hop bound.
         if let Some(h) = fam.max_hops {
             let mut total = LinExpr::zero();
-            for &a in alpha.values() {
-                total.add_term(a, 1.0);
+            for e in &alpha_order {
+                total.add_term(alpha[e], 1.0);
             }
             enc.model.add(total.leq(h as f64));
         }
@@ -547,11 +560,13 @@ pub fn encode_full(
                 else {
                     continue;
                 };
-                let cons: Vec<_> = va
+                let mut cons: Vec<_> = va
                     .iter()
-                    .filter_map(|(e, &x)| vb.get(e).map(|&y| (x, y)))
+                    .filter_map(|(e, &x)| vb.get(e).map(|&y| (*e, x, y)))
                     .collect();
-                for (x, y) in cons {
+                // Row creation order must be deterministic across processes.
+                cons.sort_unstable_by_key(|&(e, _, _)| e);
+                for (_, x, y) in cons {
                     enc.model.add((x + LinExpr::from(y)).leq(1.0));
                 }
             }

@@ -55,6 +55,7 @@
 use crate::encode::pricing_hooks::{GroupKey, PricingHooks, ReplicaHooks};
 use crate::encode::{CandidatePath, Encoding, RouteVars};
 use crate::template::NetworkTemplate;
+use milp::checkpoint::{ByteReader, ByteWriter, FrameError};
 use milp::{ColumnSource, NewColumn, NewRow, PriceInput, PricedBatch};
 use netgraph::{best_path_above, DiGraph, NodeId};
 use std::collections::HashMap;
@@ -450,6 +451,53 @@ impl PathPricer {
         self.records.len()
     }
 
+    /// Decodes a [`ColumnSource::snapshot_state`] payload; `Err` leaves the
+    /// caller free to keep its current state (a foreign or torn payload must
+    /// never half-apply).
+    fn decode_state(bytes: &[u8]) -> Result<(Vec<ColRecord>, usize, usize, usize), FrameError> {
+        let mut r = ByteReader::new(bytes);
+        let expected_vars = r.usize()?;
+        let cursor = r.usize()?;
+        let seq = r.usize()?;
+        let n = r.len(1)?;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(match r.u8()? {
+                0 => {
+                    let route_idx = r.usize()?;
+                    let name = r.str()?;
+                    let nn = r.len(8)?;
+                    let nodes = (0..nn).map(|_| r.usize()).collect::<Result<_, _>>()?;
+                    let ne = r.len(16)?;
+                    let mut edges = Vec::with_capacity(ne);
+                    for _ in 0..ne {
+                        edges.push((r.usize()?, r.usize()?));
+                    }
+                    ColRecord::Selector {
+                        route_idx,
+                        name,
+                        nodes,
+                        edges,
+                    }
+                }
+                1 => ColRecord::EdgeUsed {
+                    route_idx: r.usize()?,
+                    name: r.str()?,
+                    edge: (r.usize()?, r.usize()?),
+                },
+                2 => ColRecord::EtxLoad {
+                    name: r.str()?,
+                    cap: r.f64()?,
+                },
+                _ => return Err(FrameError::Corrupt("unknown pricer record tag")),
+            });
+        }
+        if !r.done() {
+            return Err(FrameError::Corrupt("trailing bytes in pricer state"));
+        }
+        Ok((records, expected_vars, cursor, seq))
+    }
+
     /// Replays the first `accepted` emitted columns into the encoding —
     /// matching variables are appended to the model in LP column order, and
     /// priced paths become regular [`CandidatePath`]s of their routes, so
@@ -532,6 +580,70 @@ impl ColumnSource for PathPricer {
         }
         self.expected_vars += batch.cols.len();
         batch
+    }
+
+    /// The emission log is all [`PathPricer::materialize`] needs after a
+    /// resume — a resumed solve replays the frame's accepted batches into
+    /// the LP but never prices further rounds, so the per-replica oracle
+    /// bookkeeping can stay at its freshly-built state.
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.expected_vars);
+        w.put_usize(self.cursor);
+        w.put_usize(self.seq);
+        w.put_usize(self.records.len());
+        for rec in &self.records {
+            match rec {
+                ColRecord::Selector {
+                    route_idx,
+                    name,
+                    nodes,
+                    edges,
+                } => {
+                    w.put_u8(0);
+                    w.put_usize(*route_idx);
+                    w.put_str(name);
+                    w.put_usize(nodes.len());
+                    for &n in nodes {
+                        w.put_usize(n);
+                    }
+                    w.put_usize(edges.len());
+                    for &(i, j) in edges {
+                        w.put_usize(i);
+                        w.put_usize(j);
+                    }
+                }
+                ColRecord::EdgeUsed {
+                    route_idx,
+                    name,
+                    edge,
+                } => {
+                    w.put_u8(1);
+                    w.put_usize(*route_idx);
+                    w.put_str(name);
+                    w.put_usize(edge.0);
+                    w.put_usize(edge.1);
+                }
+                ColRecord::EtxLoad { name, cap } => {
+                    w.put_u8(2);
+                    w.put_str(name);
+                    w.put_f64(*cap);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        if let Ok((records, expected_vars, cursor, seq)) = Self::decode_state(bytes) {
+            self.records = records;
+            self.expected_vars = expected_vars;
+            self.cursor = cursor;
+            self.seq = seq;
+        }
     }
 }
 

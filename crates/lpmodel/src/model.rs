@@ -223,6 +223,33 @@ impl Model {
         let sol = Solver::new(cfg.clone()).solve_with_columns(&self.problem, source);
         ModelSolution { sol }
     }
+
+    /// Resumes a checkpointed solve of this model from the frame at `path`
+    /// (see [`milp::Solver::resume`]). Any valid frame — even a stale one —
+    /// finishes with the same objective and proof status as an
+    /// uninterrupted [`Model::solve`].
+    pub fn solve_resumed(
+        &self,
+        cfg: &Config,
+        path: &std::path::Path,
+    ) -> Result<ModelSolution, milp::FrameError> {
+        let sol = Solver::new(cfg.clone()).resume(&self.problem, path)?;
+        Ok(ModelSolution { sol })
+    }
+
+    /// [`Model::solve_resumed`] with root column generation: the frame's
+    /// accepted pricing batches are replayed and `source` has its opaque
+    /// payload restored before the search continues (see
+    /// [`milp::Solver::resume_with_columns`]).
+    pub fn solve_resumed_with_columns(
+        &self,
+        cfg: &Config,
+        path: &std::path::Path,
+        source: &mut dyn milp::ColumnSource,
+    ) -> Result<ModelSolution, milp::FrameError> {
+        let sol = Solver::new(cfg.clone()).resume_with_columns(&self.problem, path, source)?;
+        Ok(ModelSolution { sol })
+    }
 }
 
 /// The result of [`Model::solve`].

@@ -21,6 +21,7 @@
 //! deterministic to within the configured gap tolerances at any thread
 //! count. `threads: 1` runs the original single-threaded loop unchanged.
 
+use crate::checkpoint::{self, CkptRuntime, FrameError, FrameNode, SearchFrame};
 use crate::config::{Branching, Config, NodeSelection};
 use crate::cuts;
 use crate::error::relock;
@@ -152,6 +153,10 @@ struct SearchCtx<'a> {
     /// Cuts already baked into `lp` (the root cuts); node-level syncing
     /// starts from this prefix.
     root_cuts: usize,
+    /// Durable-solve runtime, when [`Config::checkpoint`] is set: snapshot
+    /// cadence claims, the frame hand-off slot, the write-time debit, and
+    /// the stall watchdog's abort flag.
+    ckpt: Option<&'a CkptRuntime>,
 }
 
 // The context crosses scoped-thread boundaries; keep that statically true.
@@ -183,16 +188,30 @@ struct SearchOutcome {
 }
 
 impl SearchCtx<'_> {
-    /// Whether the solve should wind down: wall-clock deadline, cooperative
-    /// cancellation, or an injected (simulated) deadline expiry.
+    /// Whether the solve should wind down: wall-clock deadline (net of the
+    /// checkpoint-time debit), cooperative cancellation, a watchdog stall
+    /// abort, or an injected (simulated) deadline expiry.
     fn should_stop(&self, nodes: usize) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.effective_deadline().is_some_and(|d| Instant::now() >= d)
             || self.cfg.is_cancelled()
+            || self.ckpt.is_some_and(CkptRuntime::stall_abort_requested)
             || self
                 .cfg
                 .faults
                 .as_ref()
                 .is_some_and(|f| f.deadline_expired(nodes))
+    }
+
+    /// The wall-clock deadline with checkpoint assembly/write time debited:
+    /// durability overhead shrinks the search budget instead of silently
+    /// extending the wall time, mirroring how the exploration layer charges
+    /// encode time against a shared limit.
+    fn effective_deadline(&self) -> Option<Instant> {
+        let d = self.deadline?;
+        match self.ckpt {
+            Some(rt) => Some(d.checked_sub(rt.debit()).unwrap_or(d)),
+            None => Some(d),
+        }
     }
 }
 
@@ -298,7 +317,7 @@ pub fn solve_milp_with(
     problem: &Problem,
     cfg: &Config,
     start: Instant,
-    columns: Option<&mut dyn ColumnSource>,
+    mut columns: Option<&mut dyn ColumnSource>,
 ) -> Solution {
     let deadline = cfg.time_limit.map(|d| start + d);
     let minimize = problem.sense() == Sense::Minimize;
@@ -347,6 +366,15 @@ pub fn solve_milp_with(
         .collect();
     let obj_offset = ps.reduced.obj_offset();
     let user_obj = |internal: f64| sign * internal + obj_offset;
+
+    // Fingerprint the base LP before pricing or cuts mutate it: checkpoint
+    // frames carry this hash, and resume recomputes it from a fresh encode
+    // so a frame can never be applied to a different problem.
+    let fingerprint = if cfg.checkpoint.is_some() {
+        frame_fingerprint(&lp, &root_lb, &root_ub, &int_vars)
+    } else {
+        0
+    };
 
     // --- Root LP ---
     stats.lp_solves += 1;
@@ -398,7 +426,8 @@ pub fn solve_milp_with(
     // coefficient for a priced-in variable. The loop grows `ps.reduced`,
     // `lp`, the root bound vectors, and `int_vars` in lockstep, and leaves
     // `root` optimal over the grown LP.
-    if let Some(source) = columns {
+    let mut accepted_batches: Vec<checkpoint::FrameBatch> = Vec::new();
+    if let Some(source) = columns.as_deref_mut() {
         if cfg.colgen.enabled {
             pricing::run_root_pricing(
                 source,
@@ -412,6 +441,7 @@ pub fn solve_milp_with(
                 deadline,
                 sign,
                 &mut stats,
+                &mut accepted_batches,
             );
         }
     }
@@ -510,6 +540,26 @@ pub fn solve_milp_with(
         }
     }
 
+    // --- Durable-solve runtime ---
+    // Everything static for the rest of the search goes into the frame
+    // base; the watchdog thread (spawned around the dispatch below) arms
+    // the snapshot cadence, persists frames the search threads assemble,
+    // and turns a stalled worker pool into a clean checkpointed abort.
+    let ckpt_rt = cfg.checkpoint.as_ref().map(|ck| {
+        let base = checkpoint::FrameBase {
+            fingerprint,
+            root_bound: root_cut_bound,
+            base_lb: root_lb.clone(),
+            base_ub: root_ub.clone(),
+            batches: accepted_batches,
+            user_data: columns
+                .as_ref()
+                .map(|s| s.snapshot_state())
+                .unwrap_or_default(),
+        };
+        CkptRuntime::new(ck.clone(), base, cfg.faults.clone())
+    });
+
     let ctx = SearchCtx {
         lp: &lp,
         root_lb: &root_lb,
@@ -524,6 +574,7 @@ pub fn solve_milp_with(
         cut_pool: &cut_pool,
         cuts_applied_hint: &cuts_applied_hint,
         root_cuts,
+        ckpt: ckpt_rt.as_ref(),
     };
 
     // --- Search ---
@@ -536,22 +587,85 @@ pub fn solve_milp_with(
     let nthreads = cfg.effective_threads();
     let root_djb = (cfg.reduced_cost_fixing && !int_vars.is_empty())
         .then_some((root.dj.as_slice(), root.obj));
-    let outcome = if nthreads <= 1 || int_vars.is_empty() {
-        search_sequential(&ctx, vec![root_node], incumbent, root_djb, &mut stats)
-    } else {
-        // Parallel workers reconstruct bounds from the (already root-fixed)
-        // context; incumbent-time refixing is sequential-only.
-        search_parallel(&ctx, nthreads, root_node, incumbent, &mut stats)
-    };
+    let outcome = run_search(&ctx, vec![root_node], incumbent, root_djb, nthreads, &mut stats);
 
-    // --- Wrap up ---
+    wrap_up(
+        outcome,
+        &ps,
+        cfg,
+        &cut_pool,
+        ckpt_rt.as_ref(),
+        root_cut_bound,
+        sign,
+        obj_offset,
+        start,
+        stats,
+    )
+}
+
+/// Dispatches the tree search, wrapping it with the checkpoint watchdog
+/// thread when durable solves are configured. The watchdog runs for the
+/// whole search and flushes any pending frame on shutdown, so even a
+/// limit-stopped solve leaves its final frame on disk.
+fn run_search(
+    ctx: &SearchCtx<'_>,
+    roots: Vec<Node>,
+    incumbent: Option<(f64, Vec<f64>)>,
+    root_djb: Option<(&[f64], f64)>,
+    nthreads: usize,
+    stats: &mut Stats,
+) -> SearchOutcome {
+    let run = move |stats: &mut Stats| {
+        if nthreads <= 1 || ctx.int_vars.is_empty() {
+            search_sequential(ctx, roots, incumbent, root_djb, stats)
+        } else {
+            // Parallel workers reconstruct bounds from the (already
+            // root-fixed) context; incumbent-time refixing is
+            // sequential-only.
+            search_parallel(ctx, nthreads, roots, incumbent, stats)
+        }
+    };
+    match ctx.ckpt {
+        Some(rt) => std::thread::scope(|s| {
+            let wd = s.spawn(|| rt.watchdog());
+            let outcome = run(stats);
+            rt.shutdown();
+            let _ = wd.join();
+            outcome
+        }),
+        None => run(stats),
+    }
+}
+
+/// Shared wrap-up of both the cold and the resumed solve: cut-pool and
+/// checkpoint statistics, bound/status reconciliation, and postsolve of
+/// the incumbent back to the original variable space.
+#[allow(clippy::too_many_arguments)]
+fn wrap_up(
+    outcome: SearchOutcome,
+    ps: &Presolved,
+    cfg: &Config,
+    cut_pool: &Mutex<cuts::CutPool>,
+    ckpt_rt: Option<&CkptRuntime>,
+    root_cut_bound: f64,
+    sign: f64,
+    obj_offset: f64,
+    start: Instant,
+    mut stats: Stats,
+) -> Solution {
     {
-        let pool = relock(&cut_pool);
+        let pool = relock(cut_pool);
         stats.cuts_generated = pool.generated;
         stats.cuts_applied = pool.applied_len();
         stats.cut_rounds = pool.rounds;
     }
+    if let Some(rt) = ckpt_rt {
+        stats.checkpoint_time = rt.debit();
+        stats.checkpoints_written = rt.frames_written();
+        stats.stalls_detected = rt.stalls();
+    }
     stats.elapsed = start.elapsed();
+    let user_obj = |internal: f64| sign * internal + obj_offset;
     if outcome.unbounded {
         return Solution::unbounded(stats);
     }
@@ -578,8 +692,8 @@ pub fn solve_milp_with(
             };
             Solution {
                 status,
-                objective: ctx.user_obj(obj),
-                best_bound: ctx.user_obj(bound_internal),
+                objective: user_obj(obj),
+                best_bound: user_obj(bound_internal),
                 values,
                 stats,
                 error: None,
@@ -590,7 +704,7 @@ pub fn solve_milp_with(
                 Solution {
                     status: Status::LimitNoSolution,
                     objective: f64::INFINITY,
-                    best_bound: ctx.user_obj(open_bound),
+                    best_bound: user_obj(open_bound),
                     values: Vec::new(),
                     stats,
                     error: None,
@@ -600,6 +714,339 @@ pub fn solve_milp_with(
             }
         }
     }
+}
+
+/// Hash of the base LP (before any pricing or cut appends) plus the root
+/// bounds and integrality pattern. Checkpoint frames carry it; resume
+/// recomputes it from a fresh encode and refuses frames whose hash
+/// differs, so a snapshot can never silently continue a different model.
+fn frame_fingerprint(lp: &LpData, root_lb: &[f64], root_ub: &[f64], int_vars: &[usize]) -> u64 {
+    let mut w = checkpoint::ByteWriter::new();
+    w.put_usize(lp.num_vars());
+    w.put_usize(lp.num_rows());
+    for &v in &lp.c {
+        w.put_f64(v);
+    }
+    for &v in &lp.row_lb {
+        w.put_f64(v);
+    }
+    for &v in &lp.row_ub {
+        w.put_f64(v);
+    }
+    for &v in root_lb {
+        w.put_f64(v);
+    }
+    for &v in root_ub {
+        w.put_f64(v);
+    }
+    w.put_usize(int_vars.len());
+    for &j in int_vars {
+        w.put_usize(j);
+    }
+    checkpoint::fnv1a64(&w.into_bytes())
+}
+
+/// A [`FrameNode`] snapshot of one open node (the warm basis is dropped;
+/// a resumed node cold-solves once and re-warms its subtree).
+fn frame_node(n: &Node) -> FrameNode {
+    FrameNode {
+        bound: n.bound,
+        depth: n.depth,
+        changes: n.changes.clone(),
+    }
+}
+
+/// Assembles a complete [`SearchFrame`] from the runtime's static base
+/// plus the dynamic state captured by the caller. The cut pool is read
+/// here: its applied list is append-only and globally ordered, so a
+/// snapshot taken between a peer's append and its hint publish is still
+/// consistent (the restored LP simply catches the extras up lazily).
+fn snapshot_frame(
+    ctx: &SearchCtx<'_>,
+    rt: &CkptRuntime,
+    nodes_done: usize,
+    incumbent: Option<&(f64, Vec<f64>)>,
+    base_lb: &[f64],
+    base_ub: &[f64],
+    open_nodes: Vec<FrameNode>,
+) -> SearchFrame {
+    let mut frame = rt.base_frame();
+    frame.nodes_done = nodes_done;
+    frame.incumbent = incumbent.cloned();
+    frame.base_lb = base_lb.to_vec();
+    frame.base_ub = base_ub.to_vec();
+    frame.cuts = relock(ctx.cut_pool).applied().to_vec();
+    frame.root_cuts = ctx.root_cuts;
+    frame.open_nodes = open_nodes;
+    frame
+}
+
+/// Resumes a checkpointed solve from a decoded [`SearchFrame`]: rebuilds
+/// the base LP exactly as [`solve_milp_with`] would, verifies the frame's
+/// problem fingerprint, replays the accepted pricing batches in order,
+/// restores the cut pool and incumbent, and continues the tree search from
+/// the frame's open nodes. Resuming from *any* valid frame — even a stale
+/// one — yields the same final objective and proof status as an
+/// uninterrupted run; staleness only re-does work.
+///
+/// Fails with [`FrameError::Mismatch`] when the frame does not belong to
+/// this problem/configuration pairing; callers typically fall back to a
+/// cold solve.
+pub fn resume_milp_with(
+    problem: &Problem,
+    cfg: &Config,
+    start: Instant,
+    frame: SearchFrame,
+    mut columns: Option<&mut dyn ColumnSource>,
+) -> Result<Solution, FrameError> {
+    let deadline = cfg.time_limit.map(|d| start + d);
+    let minimize = problem.sense() == Sense::Minimize;
+    let mut stats = Stats {
+        resumed: true,
+        ..Stats::default()
+    };
+
+    // --- Rebuild the base LP exactly as the cold path does ---
+    let mut ps: Presolved = if cfg.presolve && columns.is_none() {
+        presolve(problem, minimize)
+    } else {
+        identity_presolved(problem)
+    };
+    stats.presolve_rows_removed = ps.rows_removed;
+    stats.presolve_vars_removed = ps.vars_removed;
+    if ps.conclusion.is_some() {
+        // The original solve never searched (so never wrote a frame) for a
+        // presolve-concluded problem; this frame is someone else's.
+        return Err(FrameError::Mismatch("presolve concluded the problem"));
+    }
+    let n = ps.reduced.num_vars();
+    let sign = if minimize { 1.0 } else { -1.0 };
+    let c: Vec<f64> = ps.reduced.objective().iter().map(|&v| sign * v).collect();
+    let (row_lb, row_ub): (Vec<f64>, Vec<f64>) = ps
+        .reduced
+        .row_ids()
+        .map(|r| ps.reduced.row_bounds(r))
+        .unzip();
+    let mut lp = LpData {
+        a: ps.reduced.matrix(),
+        c,
+        row_lb,
+        row_ub,
+    };
+    let mut root_lb: Vec<f64> = (0..n).map(|j| ps.reduced.var_bounds(VarId(j)).0).collect();
+    let mut root_ub: Vec<f64> = (0..n).map(|j| ps.reduced.var_bounds(VarId(j)).1).collect();
+    let mut int_vars: Vec<usize> = (0..n)
+        .filter(|&j| ps.reduced.var_type(VarId(j)) != VarType::Continuous)
+        .collect();
+    let obj_offset = ps.reduced.obj_offset();
+
+    if frame_fingerprint(&lp, &root_lb, &root_ub, &int_vars) != frame.fingerprint {
+        return Err(FrameError::Mismatch("problem fingerprint differs"));
+    }
+
+    // --- Replay the accepted pricing rounds ---
+    // Batch by batch, so side-row column indices (`num_vars + i` within
+    // their own round) resolve exactly as they did when first accepted.
+    if !frame.batches.is_empty() {
+        if columns.is_none() || !cfg.colgen.enabled {
+            return Err(FrameError::Mismatch(
+                "frame carries priced columns but column generation is off",
+            ));
+        }
+        if !pricing::replay_batches(
+            &mut ps,
+            &mut lp,
+            &mut root_lb,
+            &mut root_ub,
+            &mut int_vars,
+            &frame.batches,
+            sign,
+        ) {
+            return Err(FrameError::Mismatch("pricing batches do not fit the base LP"));
+        }
+        stats.cols_priced = frame.batches.iter().map(|b| b.cols.len()).sum();
+    }
+    if let Some(source) = &mut columns {
+        source.restore_state(&frame.user_data);
+    }
+
+    // --- Base bounds from the frame (they carry root rc-fixing) ---
+    if frame.base_lb.len() != root_lb.len() || frame.base_ub.len() != root_ub.len() {
+        return Err(FrameError::Mismatch("bound vector length differs"));
+    }
+    let root_lb = frame.base_lb.clone();
+    let root_ub = frame.base_ub.clone();
+    let int_vars = int_vars;
+    let reduced = &ps.reduced;
+
+    // --- Cut pool restore ---
+    // The root prefix is baked back into the base LP; the rest go into the
+    // pool only, and every worker catches them up lazily through
+    // `sync_cut_lp` — the pool being ahead of a restored LP is the normal,
+    // tolerated state of the append-only global order.
+    for cut in &frame.cuts {
+        if cut.coefs.iter().any(|&(j, _)| j >= lp.num_vars()) {
+            return Err(FrameError::Mismatch("cut references an unknown column"));
+        }
+    }
+    let root_rows = cuts::cuts_to_rows(&frame.cuts[..frame.root_cuts]);
+    if !root_rows.is_empty() {
+        lp.append_rows(&root_rows);
+    }
+    let cut_ctx = cuts::CutContext::from_problem(reduced);
+    let mut pool = cuts::CutPool::new();
+    let total_cuts = frame.cuts.len();
+    let root_cuts = frame.root_cuts;
+    pool.restore_applied(frame.cuts.clone());
+    let cuts_applied_hint = AtomicUsize::new(total_cuts);
+    let cut_pool = Mutex::new(pool);
+    let root_cut_bound = frame.root_bound;
+
+    // --- Incumbent and open nodes ---
+    let mut incumbent = frame.incumbent.clone();
+    if let Some((_, x)) = &incumbent {
+        if x.len() != lp.num_vars() {
+            return Err(FrameError::Mismatch("incumbent length differs"));
+        }
+    }
+    if frame
+        .open_nodes
+        .iter()
+        .any(|nd| nd.changes.iter().any(|&(j, _, _)| j >= root_lb.len()))
+    {
+        return Err(FrameError::Mismatch("node change references an unknown column"));
+    }
+    // Re-solve the root relaxation once against the restored LP (base
+    // columns + replayed pricing + baked root cuts). Frames drop warm
+    // bases, but every open node is just a set of bound deltas from this
+    // root, so the root basis stays dual-feasible for all of them — one
+    // solve here turns thousands of would-be cold node solves back into
+    // short dual-simplex reoptimizations. Failure is non-fatal: nodes
+    // then cold-solve exactly as before.
+    stats.lp_solves += 1;
+    let root_res = match solve_lp(&lp, &root_lb, &root_ub, cfg, None, deadline) {
+        Ok(r) if r.status == LpStatus::Optimal => {
+            stats.simplex_iters += r.iters;
+            stats.phase1_iters += r.phase1_iters;
+            stats.dual_iters += r.dual_iters;
+            Some(r)
+        }
+        _ => None,
+    };
+    let root_warm = root_res
+        .as_ref()
+        .map(|r| Arc::new(r.statuses.clone()));
+    let root_djb_owned = root_res
+        .as_ref()
+        .filter(|_| cfg.reduced_cost_fixing && !int_vars.is_empty())
+        .map(|r| (r.dj.clone(), r.obj));
+
+    // Root heuristics, same recipe as a cold solve: the frame's incumbent
+    // is whatever the killed run had found by its last snapshot, which can
+    // be far from what a fresh root dive reaches in seconds — and the
+    // incumbent drives all pruning below. Keep whichever is better.
+    if cfg.heuristics && !int_vars.is_empty() {
+        if let Some(root) = &root_res {
+            if let Some((obj, x)) = heur::try_rounding(reduced, &lp, &root.x, cfg.int_tol) {
+                if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
+                    incumbent = Some((obj, x));
+                    stats.heuristic_solutions += 1;
+                }
+            }
+            let root_dive_budget = cfg
+                .time_limit
+                .map(|t| (t.as_secs_f64() * 0.1).clamp(1.0, 15.0))
+                .unwrap_or(15.0);
+            for strategy in [
+                heur::DiveStrategy::NearestInteger,
+                heur::DiveStrategy::MostFractionalUp,
+            ] {
+                let Some(dd) = dive_window(deadline, root_dive_budget) else {
+                    break;
+                };
+                if let Some((obj, x)) = heur::dive_with(
+                    strategy,
+                    reduced,
+                    &lp,
+                    &int_vars,
+                    &root_lb,
+                    &root_ub,
+                    cfg,
+                    Some(&root.statuses),
+                    Some(dd),
+                ) {
+                    if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
+                        incumbent = Some((obj, x));
+                        stats.heuristic_solutions += 1;
+                    }
+                }
+            }
+        }
+    }
+    let roots: Vec<Node> = frame
+        .open_nodes
+        .iter()
+        .map(|nd| Node {
+            changes: nd.changes.clone(),
+            bound: nd.bound,
+            depth: nd.depth,
+            warm: root_warm.clone(),
+        })
+        .collect();
+    stats.nodes = frame.nodes_done;
+
+    // --- Durable-solve runtime (the resumed run checkpoints too) ---
+    let ckpt_rt = cfg.checkpoint.as_ref().map(|ck| {
+        let base = checkpoint::FrameBase {
+            fingerprint: frame.fingerprint,
+            root_bound: frame.root_bound,
+            base_lb: root_lb.clone(),
+            base_ub: root_ub.clone(),
+            batches: frame.batches.clone(),
+            user_data: frame.user_data.clone(),
+        };
+        CkptRuntime::new(ck.clone(), base, cfg.faults.clone())
+    });
+
+    let ctx = SearchCtx {
+        lp: &lp,
+        root_lb: &root_lb,
+        root_ub: &root_ub,
+        int_vars: &int_vars,
+        reduced,
+        cfg,
+        deadline,
+        sign,
+        obj_offset,
+        cut_ctx: &cut_ctx,
+        cut_pool: &cut_pool,
+        cuts_applied_hint: &cuts_applied_hint,
+        root_cuts,
+        ckpt: ckpt_rt.as_ref(),
+    };
+
+    // --- Search ---
+    // Root reduced costs come from the re-solve above (when it succeeded),
+    // so incumbent-time refixing keeps working across a resume; without
+    // them only pruning strength is lost, never correctness.
+    let nthreads = cfg.effective_threads();
+    let root_djb = root_djb_owned
+        .as_ref()
+        .map(|(dj, obj)| (dj.as_slice(), *obj));
+    let outcome = run_search(&ctx, roots, incumbent, root_djb, nthreads, &mut stats);
+
+    Ok(wrap_up(
+        outcome,
+        &ps,
+        cfg,
+        &cut_pool,
+        ckpt_rt.as_ref(),
+        root_cut_bound,
+        sign,
+        obj_offset,
+        start,
+        stats,
+    ))
 }
 
 /// Pads a warm-start vector produced against an LP with fewer cut rows:
@@ -632,9 +1079,12 @@ fn sync_cut_lp<'b>(
     if ctx.cuts_applied_hint.load(AtomicOrdering::Acquire) > *local_cuts {
         let pool = relock(ctx.cut_pool);
         let total = pool.applied_len();
-        if total > *local_cuts {
-            let rows = cuts::cuts_to_rows(&pool.applied()[*local_cuts..]);
-            drop(pool);
+        // `catch_up_rows` tolerates every relative position the append-only
+        // order allows — including a pool already ahead of a restored LP
+        // (the resume case) and a stale hint past the pool's length.
+        let rows = cuts::catch_up_rows(pool.applied(), *local_cuts);
+        drop(pool);
+        if !rows.is_empty() {
             let lp = local_lp.get_or_insert_with(|| ctx.lp.clone());
             lp.append_rows(&rows);
             *local_cuts = total;
@@ -702,6 +1152,29 @@ fn search_sequential(
                 break;
             }
         }
+        // Snapshot at the node boundary: nothing is in flight here, so the
+        // heap, the plunge slot, and the incumbent are the complete search
+        // state.
+        if let Some(rt) = ctx.ckpt {
+            if rt.take_due() {
+                let t0 = Instant::now();
+                let open: Vec<FrameNode> = heap
+                    .iter()
+                    .map(|h| frame_node(&h.0))
+                    .chain(plunge_next.as_ref().map(frame_node))
+                    .collect();
+                let frame = snapshot_frame(
+                    ctx,
+                    rt,
+                    stats.nodes,
+                    incumbent.as_ref(),
+                    &base_lb,
+                    &base_ub,
+                    open,
+                );
+                rt.offer(frame, t0.elapsed());
+            }
+        }
         let mut node = match plunge_next.take() {
             Some(nd) => nd,
             None => match heap.pop() {
@@ -715,18 +1188,26 @@ fn search_sequential(
                 continue;
             }
         }
-        // Limits (wall-clock, cancellation, injected expiry, node count).
+        // Limits (wall-clock, cancellation, injected expiry, stall abort,
+        // node count). The popped node goes back to the plunge slot before
+        // the break so the wind-down bound — and any final checkpoint
+        // frame — still covers it.
         if ctx.should_stop(stats.nodes) {
             hit_limit = true;
+            plunge_next = Some(node);
             break;
         }
         if let Some(nl) = cfg.node_limit {
             if stats.nodes >= nl {
                 hit_limit = true;
+                plunge_next = Some(node);
                 break;
             }
         }
         stats.nodes += 1;
+        if let Some(rt) = ctx.ckpt {
+            rt.bump_progress();
+        }
 
         // Reconstruct bounds from the (possibly rc-tightened) base bounds.
         lb_buf.copy_from_slice(&base_lb);
@@ -781,6 +1262,7 @@ fn search_sequential(
             }
             LpStatus::Limit => {
                 hit_limit = true;
+                plunge_next = Some(node);
                 break 'outer;
             }
             LpStatus::Optimal => {}
@@ -955,6 +1437,29 @@ fn search_sequential(
         (None, Some(h)) => h.0.bound,
         (None, None) => f64::INFINITY,
     };
+    // Limit wind-down: deposit a final frame covering every still-open node
+    // (the watchdog's exit drain persists it), so a deadline-expired or
+    // stall-aborted solve resumes from exactly where it stopped.
+    if hit_limit {
+        if let Some(rt) = ctx.ckpt {
+            let t0 = Instant::now();
+            let open: Vec<FrameNode> = heap
+                .iter()
+                .map(|h| frame_node(&h.0))
+                .chain(plunge_next.as_ref().map(frame_node))
+                .collect();
+            let frame = snapshot_frame(
+                ctx,
+                rt,
+                stats.nodes,
+                incumbent.as_ref(),
+                &base_lb,
+                &base_ub,
+                open,
+            );
+            rt.offer(frame, t0.elapsed());
+        }
+    }
     SearchOutcome {
         incumbent,
         open_bound,
@@ -1132,7 +1637,7 @@ impl ParShared {
 fn search_parallel(
     ctx: &SearchCtx<'_>,
     nthreads: usize,
-    root_node: Node,
+    roots: Vec<Node>,
     incumbent: Option<(f64, Vec<f64>)>,
     stats: &mut Stats,
 ) -> SearchOutcome {
@@ -1160,7 +1665,12 @@ fn search_parallel(
         dropped_bound: AtomicU64::new(INF_BITS),
         lp_recoveries: AtomicUsize::new(0),
     };
-    relock(&shared.heap).push(HeapNode(root_node));
+    {
+        let mut heap = relock(&shared.heap);
+        for root in roots {
+            heap.push(HeapNode(root));
+        }
+    }
 
     std::thread::scope(|s| {
         for id in 0..nthreads {
@@ -1198,6 +1708,26 @@ fn search_parallel(
         .inc_full
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
+
+    // Limit wind-down: every worker parked its node before exiting, so the
+    // drained heap is the complete open set — deposit it as the final
+    // frame for the watchdog's exit drain.
+    if shared.hit_limit.load(AtomicOrdering::SeqCst) {
+        if let Some(rt) = ctx.ckpt {
+            let t0 = Instant::now();
+            let open: Vec<FrameNode> = heap.iter().map(|h| frame_node(&h.0)).collect();
+            let frame = snapshot_frame(
+                ctx,
+                rt,
+                stats.nodes,
+                incumbent.as_ref(),
+                ctx.root_lb,
+                ctx.root_ub,
+                open,
+            );
+            rt.offer(frame, t0.elapsed());
+        }
+    }
 
     // Degrade to sequential: if panics killed every worker while open nodes
     // remain (no stop flag, non-empty pool), finish the search single-
@@ -1265,9 +1795,14 @@ fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> 
             match heap.pop() {
                 Some(HeapNode(nd)) => {
                     // Claim under the lock so idle peers never observe an
-                    // empty heap with zero active workers mid-handoff.
+                    // empty heap with zero active workers mid-handoff, and
+                    // so checkpoint snapshots — which read the inflight
+                    // slots while holding this same heap lock — always see
+                    // the node in the heap or in the slot, never in the gap
+                    // between. (Lock order is heap → inflight everywhere.)
                     shared.active.fetch_add(1, AtomicOrdering::SeqCst);
                     shared.slots[id].store(nd.bound.to_bits(), AtomicOrdering::SeqCst);
+                    *relock(&shared.inflight[id]) = Some(nd.clone());
                     Some(nd)
                 }
                 None => {
@@ -1279,10 +1814,6 @@ fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> 
             }
         };
         if let Some(nd) = popped {
-            // The panic-recovery copy is cheap (the warm basis is Arc'd)
-            // but there is no reason to take the inflight lock — or clone
-            // at all — while holding the heap lock.
-            *relock(&shared.inflight[id]) = Some(nd.clone());
             return Some(nd);
         }
         // Heap empty but peers are still expanding: wait for children.
@@ -1331,6 +1862,44 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
             panic!("injected panic in worker {id}");
         }
 
+        // Snapshot claim: this worker's node already sits in its inflight
+        // slot, so heap ∪ inflight covers every open node. The slots are
+        // read under the heap lock — claims store them inside `pop_next`'s
+        // critical section, and finish paths push children before clearing
+        // their slot — so a frame can duplicate a node (harmless: resumed
+        // work is re-done) but never lose one (which would be unsound).
+        if let Some(rt) = ctx.ckpt {
+            if rt.take_due() {
+                let t0 = Instant::now();
+                let open = {
+                    let heap = relock(&shared.heap);
+                    let mut open: Vec<FrameNode> =
+                        heap.iter().map(|h| frame_node(&h.0)).collect();
+                    for slot in &shared.inflight {
+                        if let Some(n) = relock(slot).as_ref() {
+                            open.push(frame_node(n));
+                        }
+                    }
+                    open
+                };
+                // Read the incumbent *after* the node set: every pruning
+                // decision reflected in the set used an incumbent at least
+                // as old as this one, so the frame never pairs a
+                // pruned-down tree with a weaker incumbent.
+                let inc = relock(&shared.inc_full).clone();
+                let frame = snapshot_frame(
+                    ctx,
+                    rt,
+                    shared.nodes.load(AtomicOrdering::SeqCst),
+                    inc.as_ref(),
+                    ctx.root_lb,
+                    ctx.root_ub,
+                    open,
+                );
+                rt.offer(frame, t0.elapsed());
+            }
+        }
+
         // Prune against the freshest incumbent.
         if node.bound >= shared.incumbent_bound() - cfg.abs_gap {
             shared.release(id);
@@ -1354,6 +1923,9 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
             }
         }
         let node_idx = shared.nodes.fetch_add(1, AtomicOrdering::SeqCst) + 1;
+        if let Some(rt) = ctx.ckpt {
+            rt.bump_progress();
+        }
 
         // Reconstruct bounds.
         lb_buf.copy_from_slice(ctx.root_lb);

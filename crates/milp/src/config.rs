@@ -189,6 +189,49 @@ impl ColGenConfig {
     }
 }
 
+/// Durable-solve settings: where and how often the watchdog thread persists
+/// [`crate::checkpoint::SearchFrame`] snapshots, and the optional stall
+/// window after which a worker pool with no node progress gets a clean
+/// checkpointed abort.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Frame file path. The writer also uses `<path>.tmp` and keeps the
+    /// previous good frame at `<path>.prev` for torn-write fallback.
+    pub path: std::path::PathBuf,
+    /// Snapshot cadence. `Duration::ZERO` means a frame at every node
+    /// boundary (test cadence; far too slow for production solves).
+    pub every: Duration,
+    /// Stall window: when no branch-and-bound node completes for this long,
+    /// the watchdog writes a final frame and aborts the search cleanly with
+    /// a limit status instead of leaving a hung process. `None` disables
+    /// stall detection.
+    pub stall: Option<Duration>,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing to `path` with the default 1 s cadence and no stall
+    /// watchdog.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every: Duration::from_secs(1),
+            stall: None,
+        }
+    }
+
+    /// Sets the snapshot cadence.
+    pub fn with_cadence(mut self, every: Duration) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Enables the stall watchdog with the given silence window.
+    pub fn with_stall_watchdog(mut self, window: Duration) -> Self {
+        self.stall = Some(window);
+        self
+    }
+}
+
 /// Configuration for [`crate::Solver`].
 ///
 /// # Examples
@@ -258,6 +301,9 @@ pub struct Config {
     /// singularities, worker panics, and simulated deadline expiry so every
     /// recovery path is exercised.
     pub faults: Option<FaultInjection>,
+    /// Durable-solve settings: `Some` enables periodic checkpoint frames
+    /// and the watchdog thread; write time is debited from the deadline.
+    pub checkpoint: Option<CheckpointConfig>,
     /// Cutting-plane separation settings.
     pub cuts: CutConfig,
     /// Column-generation settings (consulted only when a column source is
@@ -289,6 +335,7 @@ impl Default for Config {
             threads: 0,
             cancel: None,
             faults: None,
+            checkpoint: None,
             cuts: CutConfig::default(),
             colgen: ColGenConfig::default(),
         }
@@ -370,6 +417,13 @@ impl Config {
     /// Attaches a deterministic fault-injection plan (tests only).
     pub fn with_faults(mut self, faults: FaultInjection) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enables durable solving: periodic checkpoint frames at
+    /// `checkpoint.path` plus the watchdog thread.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
         self
     }
 

@@ -522,6 +522,17 @@ impl CutPool {
         self.applied.push(cut.clone());
         cut
     }
+
+    /// Rebuilds the applied list (and its dedup set) from a checkpoint
+    /// frame, preserving the append-only global order. The restored cuts
+    /// are already sanitized — they passed [`CutPool::offer`] in the run
+    /// that wrote the frame.
+    pub fn restore_applied(&mut self, cuts: Vec<Cut>) {
+        for c in cuts {
+            self.seen.insert(c.content_hash());
+            self.applied.push(c);
+        }
+    }
 }
 
 /// Converts applied cuts into `append_rows` form.
@@ -529,6 +540,19 @@ pub fn cuts_to_rows(cuts: &[Cut]) -> Vec<SparseRow> {
     cuts.iter()
         .map(|c| (c.coefs.clone(), c.lb, c.ub))
         .collect()
+}
+
+/// Rows a worker whose LP carries the first `local` applied cuts still has
+/// to append. Tolerates every relative position the append-only global
+/// order allows — including a restored LP *behind* the pool (the resume
+/// case: extra post-root cuts in the frame are caught up lazily) and a
+/// `local` count at or past the pool's length (nothing to do), which a
+/// naive `&applied[local..]` slice would panic on.
+pub fn catch_up_rows(applied: &[Cut], local: usize) -> Vec<SparseRow> {
+    match applied.get(local..) {
+        Some(suffix) if !suffix.is_empty() => cuts_to_rows(suffix),
+        _ => Vec::new(),
+    }
 }
 
 /// Outcome of the root separation loop.
@@ -632,8 +656,15 @@ pub fn run_root_cuts(
         let mut warm = Vec::with_capacity(warm_len + selected.len());
         warm.extend_from_slice(&root.statuses);
         warm.extend(std::iter::repeat_n(VStat::Basic, selected.len()));
-        match solve_lp(lp, var_lb, var_ub, &reopt_cfg, Some(&warm), deadline) {
-            Ok(r) if r.status == crate::simplex::LpStatus::Optimal => {
+        let reopt = solve_lp(lp, var_lb, var_ub, &reopt_cfg, Some(&warm), deadline);
+        // Fault injection: treat this round's reoptimization as failed so
+        // the rollback arm below runs under test control.
+        let forced_failure = cfg
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.take_cut_reopt_failure());
+        match reopt {
+            Ok(r) if r.status == crate::simplex::LpStatus::Optimal && !forced_failure => {
                 out.applied += selected.len();
                 root.iters += r.iters;
                 root.phase1_iters += r.phase1_iters;
@@ -702,6 +733,44 @@ mod tests {
         };
         let s = c.sanitize(&[0.0; 3], &[1.0; 3]).expect("valid");
         assert_eq!(s.coefs, vec![(0, 2.0), (2, 1.5)]);
+    }
+
+    #[test]
+    fn catch_up_rows_tolerates_every_relative_position() {
+        let cut = |ub: f64| Cut {
+            coefs: vec![(0, 1.0)],
+            lb: f64::NEG_INFINITY,
+            ub,
+            source: CutSource::Cover,
+        };
+        let applied = vec![cut(1.0), cut(2.0), cut(3.0)];
+        // Worker behind the pool (the resume catch-up case).
+        let rows = catch_up_rows(&applied, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].2, 2.0);
+        // Worker exactly caught up, and past the pool: both are no-ops, not
+        // slice panics.
+        assert!(catch_up_rows(&applied, 3).is_empty());
+        assert!(catch_up_rows(&applied, 7).is_empty());
+        assert!(catch_up_rows(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn restore_applied_preserves_order_and_dedup() {
+        let cut = |ub: f64| Cut {
+            coefs: vec![(0, 1.0), (1, 1.0)],
+            lb: f64::NEG_INFINITY,
+            ub,
+            source: CutSource::Clique,
+        };
+        let mut pool = CutPool::new();
+        pool.restore_applied(vec![cut(1.0), cut(2.0)]);
+        assert_eq!(pool.applied_len(), 2);
+        assert_eq!(pool.applied()[1].ub, 2.0);
+        // A restored cut re-offered by a separator after resume must be
+        // recognized as a duplicate.
+        assert!(!pool.offer(cut(1.0), &[0.0; 2], &[1.0; 2]));
+        assert_eq!(pool.pending_len(), 0);
     }
 
     #[test]

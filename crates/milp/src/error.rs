@@ -133,6 +133,12 @@ struct FaultState {
     panicked: Mutex<HashSet<usize>>,
     /// Whether the one-shot near-parallel-cut injection has fired.
     parallel_cut_fired: AtomicBool,
+    /// Root cut-round reoptimizations attempted so far (1-based ordinals).
+    cut_reopts: AtomicU64,
+    /// Root pricing reoptimizations attempted so far (1-based ordinals).
+    pricing_reopts: AtomicU64,
+    /// Checkpoint frames written so far (1-based ordinals).
+    checkpoint_writes: AtomicU64,
 }
 
 /// Deterministic fault-injection plan for exercising the recovery paths.
@@ -167,6 +173,15 @@ pub struct FaultInjection {
     parallel_cut: bool,
     /// Treat the deadline as expired once this many nodes were processed.
     deadline_after_nodes: Option<usize>,
+    /// 1-based root cut-round reoptimization ordinals forced to fail (the
+    /// round's appended cuts must be rolled back).
+    fail_cut_reopt_at: Vec<u64>,
+    /// 1-based root pricing reoptimization ordinals forced to fail (the
+    /// round's spliced columns must be rolled back).
+    fail_pricing_reopt_at: Vec<u64>,
+    /// 1-based checkpoint-write ordinals whose on-disk frame is truncated
+    /// mid-payload (a torn write the loader must detect and skip).
+    corrupt_checkpoint_at: Vec<u64>,
     state: Arc<FaultState>,
 }
 
@@ -220,6 +235,28 @@ impl FaultInjection {
         self
     }
 
+    /// Forces the `ordinal`-th (1-based) reoptimization after a root cut
+    /// round's append to report failure, exercising the round's rollback.
+    pub fn fail_cut_reopt(mut self, ordinal: u64) -> Self {
+        self.fail_cut_reopt_at.push(ordinal);
+        self
+    }
+
+    /// Forces the `ordinal`-th (1-based) reoptimization after a pricing
+    /// column splice to report failure, exercising the splice rollback.
+    pub fn fail_pricing_reopt(mut self, ordinal: u64) -> Self {
+        self.fail_pricing_reopt_at.push(ordinal);
+        self
+    }
+
+    /// Truncates the `ordinal`-th (1-based) checkpoint frame written to
+    /// disk, simulating a torn write; the resume loader must reject it by
+    /// checksum and fall back to the previous good frame.
+    pub fn corrupt_checkpoint(mut self, ordinal: u64) -> Self {
+        self.corrupt_checkpoint_at.push(ordinal);
+        self
+    }
+
     /// Schedules one injected near-parallel cutting plane: the first root
     /// cut round appends an almost-identical copy of an applied cut,
     /// skipping the pool's parallelism filter. The resulting near-singular
@@ -260,6 +297,27 @@ impl FaultInjection {
                 .state
                 .parallel_cut_fired
                 .swap(true, Ordering::SeqCst)
+    }
+
+    /// Hook: called once per root cut-round reoptimization; `true` forces
+    /// this one to be treated as failed.
+    pub(crate) fn take_cut_reopt_failure(&self) -> bool {
+        let ord = self.state.cut_reopts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.fail_cut_reopt_at.contains(&ord)
+    }
+
+    /// Hook: called once per root pricing reoptimization; `true` forces
+    /// this one to be treated as failed.
+    pub(crate) fn take_pricing_reopt_failure(&self) -> bool {
+        let ord = self.state.pricing_reopts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.fail_pricing_reopt_at.contains(&ord)
+    }
+
+    /// Hook: called once per checkpoint frame write; `true` tears this one
+    /// (the writer truncates the file mid-payload).
+    pub(crate) fn take_checkpoint_corruption(&self) -> bool {
+        let ord = self.state.checkpoint_writes.fetch_add(1, Ordering::SeqCst) + 1;
+        self.corrupt_checkpoint_at.contains(&ord)
     }
 }
 
@@ -327,6 +385,26 @@ mod tests {
         assert!(!g.take_parallel_cut());
         // unscheduled: never fires
         assert!(!FaultInjection::seeded(2).take_parallel_cut());
+    }
+
+    #[test]
+    fn reopt_failure_ordinals_fire_once_and_share_state() {
+        let f = FaultInjection::seeded(1).fail_cut_reopt(2).fail_pricing_reopt(1);
+        assert!(!f.take_cut_reopt_failure()); // ordinal 1
+        let g = f.clone(); // clones share the ordinal counters
+        assert!(g.take_cut_reopt_failure()); // ordinal 2: injected
+        assert!(!f.take_cut_reopt_failure()); // ordinal 3
+        assert!(f.take_pricing_reopt_failure()); // ordinal 1: injected
+        assert!(!g.take_pricing_reopt_failure()); // ordinal 2
+    }
+
+    #[test]
+    fn checkpoint_corruption_ordinal() {
+        let f = FaultInjection::seeded(1).corrupt_checkpoint(3);
+        assert!(!f.take_checkpoint_corruption());
+        assert!(!f.take_checkpoint_corruption());
+        assert!(f.take_checkpoint_corruption());
+        assert!(!f.take_checkpoint_corruption());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //!   external solvers.
 
 pub mod branch;
+pub mod checkpoint;
 pub mod config;
 pub mod cuts;
 pub mod error;
@@ -62,7 +63,11 @@ pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
-pub use config::{Branching, ColGenConfig, Config, CutConfig, NodeSelection, PricingRule, ReoptMode};
+pub use checkpoint::{load_frame, FrameError, SearchFrame};
+pub use config::{
+    Branching, CheckpointConfig, ColGenConfig, Config, CutConfig, NodeSelection, PricingRule,
+    ReoptMode,
+};
 pub use pricing::{ColumnSource, NewColumn, NewRow, PriceInput, PricedBatch};
 pub use error::{CancelToken, FaultInjection, SolveError};
 pub use problem::{Problem, Row, RowId, Sense, Var, VarId, VarType};
@@ -110,6 +115,38 @@ impl Solver {
     pub fn solve_with_columns(&self, problem: &Problem, source: &mut dyn ColumnSource) -> Solution {
         let start = Instant::now();
         branch::solve_milp_with(problem, &self.config, start, Some(source))
+    }
+
+    /// Resumes a solve from the checkpoint frame at `path`, falling back to
+    /// `<path>.prev` when the primary frame is torn or truncated. Resuming
+    /// from *any* valid frame — even a stale one — finishes with the same
+    /// objective and proof status as an uninterrupted run; staleness only
+    /// re-does work. Fails with [`FrameError`] when no valid frame exists
+    /// or the frame belongs to a different problem (callers typically fall
+    /// back to a cold [`Solver::solve`]).
+    pub fn resume(
+        &self,
+        problem: &Problem,
+        path: &std::path::Path,
+    ) -> Result<Solution, FrameError> {
+        let start = Instant::now();
+        let frame = checkpoint::load_frame(path)?;
+        branch::resume_milp_with(problem, &self.config, start, frame, None)
+    }
+
+    /// [`Solver::resume`] with a column source — the counterpart of
+    /// [`Solver::solve_with_columns`]: the frame's accepted pricing batches
+    /// are replayed into the LP and the source's opaque payload is restored
+    /// before the search continues.
+    pub fn resume_with_columns(
+        &self,
+        problem: &Problem,
+        path: &std::path::Path,
+        source: &mut dyn ColumnSource,
+    ) -> Result<Solution, FrameError> {
+        let start = Instant::now();
+        let frame = checkpoint::load_frame(path)?;
+        branch::resume_milp_with(problem, &self.config, start, frame, Some(source))
     }
 }
 

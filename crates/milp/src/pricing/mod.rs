@@ -124,6 +124,17 @@ pub trait ColumnSource {
     /// Proposes improving columns for the current restricted optimum.
     /// Returning an empty batch ends the pricing loop.
     fn price(&mut self, input: &PriceInput<'_>) -> PricedBatch;
+
+    /// Serializes whatever bookkeeping the source needs to survive a
+    /// checkpoint/resume cycle (stored opaquely in the frame). Stateless
+    /// sources keep the default empty payload.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores bookkeeping captured by [`ColumnSource::snapshot_state`]
+    /// before a resumed solve. The default ignores the payload.
+    fn restore_state(&mut self, _bytes: &[u8]) {}
 }
 
 /// Splices a warm-status vector for an LP that grew by `k` columns and `r`
@@ -164,6 +175,7 @@ pub(crate) fn run_root_pricing(
     deadline: Option<Instant>,
     sign: f64,
     stats: &mut Stats,
+    accepted: &mut Vec<crate::checkpoint::FrameBatch>,
 ) {
     let t0 = Instant::now();
     let mut stalled = 0usize;
@@ -275,8 +287,15 @@ pub(crate) fn run_root_pricing(
         let spliced = splice_statuses(&root.statuses, n0, &new_lb, batch.rows.len());
         stats.lp_solves += 1;
         let prev_obj = root.obj;
-        match solve_lp(lp, root_lb, root_ub, cfg, Some(&spliced), deadline) {
-            Ok(r) if r.status == LpStatus::Optimal => {
+        let reopt = solve_lp(lp, root_lb, root_ub, cfg, Some(&spliced), deadline);
+        // Fault injection: treat this round's reoptimization as failed so
+        // the splice rollback below runs under test control.
+        let forced_failure = cfg
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.take_pricing_reopt_failure());
+        match reopt {
+            Ok(r) if r.status == LpStatus::Optimal && !forced_failure => {
                 stats.simplex_iters += r.iters;
                 stats.phase1_iters += r.phase1_iters;
                 stats.dual_iters += r.dual_iters;
@@ -286,6 +305,10 @@ pub(crate) fn run_root_pricing(
                 *root = r;
                 ps.register_appended_vars(k);
                 stats.cols_priced += k;
+                accepted.push(crate::checkpoint::FrameBatch {
+                    cols: cols.to_vec(),
+                    rows: batch.rows.clone(),
+                });
                 let tol = cfg.colgen.rc_tol * (1.0 + prev_obj.abs());
                 if prev_obj - root.obj <= tol {
                     stalled += 1;
@@ -305,11 +328,96 @@ pub(crate) fn run_root_pricing(
                 root_lb.truncate(n0);
                 root_ub.truncate(n0);
                 int_vars.retain(|&j| j < n0);
+                debug_assert_eq!(lp.num_vars(), n0, "rollback must restore the LP width");
+                debug_assert_eq!(root_lb.len(), n0);
                 break;
             }
         }
     }
     stats.pricing_time += t0.elapsed();
+}
+
+/// Replays accepted pricing rounds from a checkpoint frame onto a freshly
+/// re-encoded problem, growing `ps.reduced`, the computational LP, and the
+/// bound/integrality vectors exactly as [`run_root_pricing`]'s accept path
+/// did — batch by batch, so side-row variable indices resolve the same way.
+/// No LP is solved; the resumed search cold-solves its nodes. Returns
+/// `false` when a batch is malformed (a frame written by different code),
+/// leaving the caller to reject the resume.
+pub(crate) fn replay_batches(
+    ps: &mut Presolved,
+    lp: &mut LpData,
+    root_lb: &mut Vec<f64>,
+    root_ub: &mut Vec<f64>,
+    int_vars: &mut Vec<usize>,
+    batches: &[crate::checkpoint::FrameBatch],
+    sign: f64,
+) -> bool {
+    for batch in batches {
+        let n0 = lp.num_vars();
+        let k = batch.cols.len();
+        for col in &batch.cols {
+            let mut builder = if col.integer {
+                if col.lb >= 0.0 && col.ub <= 1.0 {
+                    Var::binary()
+                } else {
+                    Var::integer()
+                }
+            } else {
+                Var::cont()
+            }
+            .bounds(col.lb, col.ub)
+            .obj(col.obj);
+            if let Some(name) = &col.name {
+                builder = builder.name(name.clone());
+            }
+            let vid = ps.reduced.add_var(builder);
+            debug_assert_eq!(vid.index(), ps.reduced.num_vars() - 1);
+            for &(r, v) in &col.entries {
+                if r >= lp.num_rows() {
+                    return false;
+                }
+                ps.reduced.add_row_coef(RowId(r), vid, v);
+            }
+        }
+        for row in &batch.rows {
+            let mut builder = Row::new().range(row.lb, row.ub);
+            for &(j, v) in &row.coefs {
+                if j >= n0 + k {
+                    return false;
+                }
+                builder = builder.coef(VarId(j), v);
+            }
+            if let Some(name) = &row.name {
+                builder = builder.name(name.clone());
+            }
+            let rid = ps.reduced.add_row(builder);
+            if row.gub {
+                ps.reduced.mark_gub(rid);
+            }
+        }
+        let sparse_cols: Vec<SparseCol> = batch
+            .cols
+            .iter()
+            .map(|c| (c.entries.clone(), sign * c.obj))
+            .collect();
+        lp.append_cols(&sparse_cols);
+        let sparse_rows: Vec<SparseRow> = batch
+            .rows
+            .iter()
+            .map(|r| (r.coefs.clone(), r.lb, r.ub))
+            .collect();
+        lp.append_rows(&sparse_rows);
+        for col in &batch.cols {
+            root_lb.push(col.lb);
+            root_ub.push(col.ub);
+            if col.integer {
+                int_vars.push(root_lb.len() - 1);
+            }
+        }
+        ps.register_appended_vars(k);
+    }
+    true
 }
 
 #[cfg(test)]

@@ -231,6 +231,127 @@ fn injected_deadline_expiry_in_parallel_search() {
     );
 }
 
+#[test]
+fn injected_cut_reopt_failure_recovers_to_clean_optimum() {
+    // Cuts on: the first root cut round's reoptimization is forced to
+    // fail, rolling the appended rows back; the search must still finish
+    // with the fault-free optimum (cuts only ever strengthen the bound).
+    let p = hard_knapsack(18);
+    let clean = solve_with(&p, Config::default());
+    assert_eq!(clean.status(), Status::Optimal);
+
+    let faults = FaultInjection::seeded(13).fail_cut_reopt(1);
+    let sol = solve_with(&p, Config::default().with_faults(faults));
+    assert_eq!(sol.status(), Status::Optimal);
+    assert!(
+        (sol.objective() - clean.objective()).abs() < 1e-6,
+        "after cut-round rollback {} vs fault-free {}",
+        sol.objective(),
+        clean.objective()
+    );
+    assert!(p.check_feasible(sol.values(), 1e-6).is_none());
+}
+
+mod pricing_rollback {
+    //! Satellite: a failed reoptimization after a column splice must
+    //! restore the exact pre-splice LP — the solve then equals one with
+    //! column generation disabled, and a later-round failure keeps every
+    //! earlier round's columns.
+
+    use super::*;
+    use milp::{ColumnSource, NewColumn, PriceInput, PricedBatch};
+
+    /// Scripted source: each call pops the next batch.
+    struct Scripted {
+        batches: Vec<PricedBatch>,
+    }
+
+    impl ColumnSource for Scripted {
+        fn price(&mut self, _input: &PriceInput<'_>) -> PricedBatch {
+            if self.batches.is_empty() {
+                PricedBatch::default()
+            } else {
+                self.batches.remove(0)
+            }
+        }
+    }
+
+    /// min 2x1 + 3x2 s.t. x1 + x2 >= 2 — optimum 4.0 restricted; a priced
+    /// covering column of cost `c` drops it to `2c`.
+    fn cover_problem() -> milp::Problem {
+        let mut p = milp::Problem::new(Sense::Minimize);
+        let x1 = p.add_var(Var::cont().bounds(0.0, 10.0).obj(2.0).name("x1"));
+        let x2 = p.add_var(Var::cont().bounds(0.0, 10.0).obj(3.0).name("x2"));
+        p.add_row(Row::new().coef(x1, 1.0).coef(x2, 1.0).ge(2.0));
+        p
+    }
+
+    fn covering_col(obj: f64, name: &str) -> PricedBatch {
+        PricedBatch {
+            cols: vec![NewColumn {
+                obj,
+                lb: 0.0,
+                ub: 10.0,
+                integer: false,
+                name: Some(name.into()),
+                entries: vec![(0, 1.0)],
+            }],
+            rows: vec![],
+        }
+    }
+
+    #[test]
+    fn round_one_failure_equals_colgen_disabled_solve() {
+        let p = cover_problem();
+        // Reference: same problem with the source never consulted.
+        let mut idle = Scripted { batches: vec![] };
+        let off = Solver::new(Config::default().with_colgen(milp::ColGenConfig::off()))
+            .solve_with_columns(&p, &mut idle);
+        assert_eq!(off.status(), Status::Optimal);
+
+        let mut src = Scripted {
+            batches: vec![covering_col(1.0, "x3")],
+        };
+        let faults = FaultInjection::seeded(17).fail_pricing_reopt(1);
+        let sol = Solver::new(Config::default().with_faults(faults))
+            .solve_with_columns(&p, &mut src);
+        assert_eq!(sol.status(), Status::Optimal);
+        assert!(
+            (sol.objective() - off.objective()).abs() < 1e-9,
+            "rolled-back splice {} vs colgen-off {}",
+            sol.objective(),
+            off.objective()
+        );
+        assert_eq!(sol.stats().cols_priced, 0, "the spliced column must be gone");
+        assert_eq!(
+            sol.values().len(),
+            2,
+            "the solution vector must cover exactly the pre-splice LP"
+        );
+    }
+
+    #[test]
+    fn round_two_failure_retains_round_one_columns() {
+        let p = cover_problem();
+        let mut src = Scripted {
+            batches: vec![covering_col(1.0, "x3"), covering_col(0.5, "x4")],
+        };
+        let faults = FaultInjection::seeded(19).fail_pricing_reopt(2);
+        let sol = Solver::new(Config::default().with_faults(faults))
+            .solve_with_columns(&p, &mut src);
+        assert_eq!(sol.status(), Status::Optimal);
+        // Round 1's column (cost 1, so objective 2.0) survives; round 2's
+        // cheaper column was rolled back with its round.
+        assert!(
+            (sol.objective() - 2.0).abs() < 1e-9,
+            "expected the round-1 optimum 2.0, got {}",
+            sol.objective()
+        );
+        assert_eq!(sol.stats().cols_priced, 1);
+        assert_eq!(sol.values().len(), 3);
+    }
+}
+
 mod determinism {
     use super::*;
     use proptest::prelude::*;

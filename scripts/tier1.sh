@@ -15,6 +15,13 @@
 #      recombine link-universe edges into paths the Yen truncation never
 #      saw, so the design may beat K* = 10 while the optimality proof
 #      over the larger space lags — that regime only warns)
+#   7. checkpoint smoke: the [50/20] ckpt_on run must write frames, and
+#      its wall-time overhead vs ckpt_off only warns past 5% (wall time
+#      swings ~2x run-to-run on this row)
+#   8. durability smoke: a checkpointed [50/20] solve is SIGKILLed
+#      mid-search, resumed from its frame, and must deliver a verified
+#      design that matches or beats the uninterrupted reference when
+#      both prove optimality
 #
 # Run from the repository root:  ./scripts/tier1.sh
 set -euo pipefail
@@ -127,5 +134,85 @@ elif [ "$(status_rank "$pron_status")" -lt "$(status_rank "$proff_status")" ]; t
     echo "tier1: pricing smoke WARNING — pricing_on status $pron_status (obj $pron_obj) vs pricing_off $proff_status (obj ${proff_obj:-none}) within the smoke budget" >&2
 fi
 echo "tier1: pricing smoke OK ($priced cols priced, $pron_status vs $proff_status)"
+
+echo "== tier1: checkpoint smoke ([50/20] row, ckpt on vs off) =="
+# The table3 run also emits the checkpoint ablation records. Frames must
+# actually be written at the 250 ms cadence, and enabling checkpointing
+# must not degrade the solve status. The < 5% wall-overhead acceptance
+# bar only warns here — wall time on this row swings ~2x run-to-run, so
+# a hard gate would flap; BENCH_solver.json records the numbers for the
+# deterministic EXPERIMENTS.md ablation.
+ck_on_rec="$(grep -o '"kind":"ckpt_on"[^}]*' "$T3_SMOKE_JSON")"
+ck_off_rec="$(grep -o '"kind":"ckpt_off"[^}]*' "$T3_SMOKE_JSON")"
+frames="$(echo "$ck_on_rec" | sed -n 's/.*"checkpoints_written":\([0-9]*\).*/\1/p')"
+if [ -z "${frames:-}" ] || [ "$frames" -eq 0 ]; then
+    echo "tier1: checkpoint smoke FAILED — no frames written on the [50/20] row:" >&2
+    echo "$ck_on_rec" >&2
+    exit 1
+fi
+ckon_status="$(echo "$ck_on_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+ckoff_status="$(echo "$ck_off_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+if [ "$(status_rank "$ckon_status")" -lt "$(status_rank "$ckoff_status")" ]; then
+    echo "tier1: checkpoint smoke FAILED — ckpt_on status $ckon_status worse than ckpt_off $ckoff_status" >&2
+    exit 1
+fi
+ckon_wall="$(echo "$ck_on_rec" | sed -n 's/.*"wall_s":\([0-9.eE+-]*\).*/\1/p')"
+ckoff_wall="$(echo "$ck_off_rec" | sed -n 's/.*"wall_s":\([0-9.eE+-]*\).*/\1/p')"
+if ! awk -v on="$ckon_wall" -v off="$ckoff_wall" 'BEGIN { exit !(on <= off * 1.05) }'; then
+    echo "tier1: checkpoint smoke WARNING — ckpt_on wall $ckon_wall s vs ckpt_off $ckoff_wall s (> 5% overhead)" >&2
+fi
+echo "tier1: checkpoint smoke OK ($frames frames written, $ckon_status vs $ckoff_status)"
+
+echo "== tier1: durability smoke (SIGKILL mid-search, resume from frame) =="
+# A checkpointed [50/20] solve is killed hard a few seconds in — exactly
+# the failure the subsystem exists for — then resumed from its last
+# durable frame. The resume must (a) actually continue from the frame,
+# (b) deliver a design that survives independent re-verification, and
+# (c) match or beat the uninterrupted reference when both prove
+# optimality (a resumed search explores the identical node space).
+DUR_FRAME="$(mktemp -u).frame"
+trap 'rm -f "$T3_SMOKE_JSON" "$DUR_FRAME" "$DUR_FRAME.prev" "$DUR_FRAME.tmp"' EXIT
+# The victim is exec'd directly (not through `cargo run`) so the SIGKILL
+# hits the solver process itself.
+cargo build --release -q -p bench --bin durability
+ref_line="$(DUR_MODE=reference DUR_TL=60 ./target/release/durability | grep '^DUR ')"
+DUR_MODE=victim DUR_TL=120 DUR_CKPT="$DUR_FRAME" ./target/release/durability &
+victim_pid=$!
+sleep 5
+kill -9 "$victim_pid" 2>/dev/null || true
+wait "$victim_pid" 2>/dev/null || true
+if [ ! -f "$DUR_FRAME" ]; then
+    echo "tier1: durability smoke FAILED — the killed victim left no frame at $DUR_FRAME" >&2
+    exit 1
+fi
+res_line="$(DUR_MODE=resume DUR_TL=60 DUR_CKPT="$DUR_FRAME" ./target/release/durability | grep '^DUR ')"
+echo "  reference: $ref_line"
+echo "  resumed:   $res_line"
+case "$res_line" in
+    *"resumed=true"*) ;;
+    *)
+        echo "tier1: durability smoke FAILED — the resume run fell back to a cold solve" >&2
+        exit 1 ;;
+esac
+case "$res_line" in
+    *"verified=ok"*) ;;
+    *)
+        echo "tier1: durability smoke FAILED — resumed run produced no verified design" >&2
+        exit 1 ;;
+esac
+ref_status="$(echo "$ref_line" | sed -n 's/.*status=\([A-Za-z]*\).*/\1/p')"
+res_status="$(echo "$res_line" | sed -n 's/.*status=\([A-Za-z]*\).*/\1/p')"
+ref_obj="$(echo "$ref_line" | sed -n 's/.*objective=\([0-9.eE+-]*\).*/\1/p')"
+res_obj="$(echo "$res_line" | sed -n 's/.*objective=\([0-9.eE+-]*\).*/\1/p')"
+if [ "$ref_status" = "Optimal" ] && [ "$res_status" = "Optimal" ]; then
+    if ! awk -v a="$res_obj" -v b="$ref_obj" \
+        'BEGIN { exit !(a <= b + 1e-4 * (1 + (b < 0 ? -b : b))) }'; then
+        echo "tier1: durability smoke FAILED — resumed objective $res_obj worse than reference $ref_obj" >&2
+        exit 1
+    fi
+elif [ "$(status_rank "$res_status")" -lt "$(status_rank "$ref_status")" ]; then
+    echo "tier1: durability smoke WARNING — resumed status $res_status vs reference $ref_status within the smoke budget" >&2
+fi
+echo "tier1: durability smoke OK (resumed $res_status obj ${res_obj:-none} vs reference $ref_status obj ${ref_obj:-none})"
 
 echo "tier1: OK"
