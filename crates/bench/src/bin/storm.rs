@@ -1,0 +1,504 @@
+// Benchmark code reports failures through stderr/exit codes, not panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! Request-storm harness for the design-session service: thousands of
+//! synthetic clients mutate their own sessions (price shifts, stock
+//! toggles, wall edits, route churn) and re-solve, while the service
+//! absorbs injected faults. Two passes run over the **same trace**: the
+//! incremental warm-session path, then the cold-solve-per-request
+//! ablation; `BENCH_service.json` records both.
+//!
+//! The trace — which client mutates what, every delta value, every fault
+//! ordinal — is a pure function of `STORM_SEED` (a splitmix-style
+//! generator keyed per request), so reruns replay the identical request
+//! storm; only wall-clock figures vary with the host.
+//!
+//! Modes (`STORM_MODE`):
+//!
+//! * `full` (default) — the benchmark: `STORM_CLIENTS` (400) clients x
+//!   `STORM_REQS` (5) requests each, no injected faults, plus the cold
+//!   ablation pass.
+//! * `smoke` — the tier-1 gate: a short storm (24 x 3) **with** injected
+//!   mid-request cancellations, a simulated worker death, and one poisoned
+//!   delta. Exits non-zero on any panic, any request that missed its
+//!   deadline without resolving `degraded`/`shed`, or a served p99 over
+//!   the deadline budget.
+//!
+//! Knobs: `STORM_SEED`, `STORM_CLIENTS`, `STORM_REQS`, `STORM_WORKERS`,
+//! `STORM_QUEUE`, `STORM_DEADLINE_MS`, `STORM_INFLIGHT` (closed-loop
+//! submission window, default `2 * workers`), `STORM_JSON` (output path;
+//! empty disables), `STORM_ABLATION=0` to skip the cold pass.
+
+use archex::service::{
+    DesignService, Outcome, Request, ServiceConfig, ServiceFaults, Ticket,
+};
+use archex::session::{SessionSnapshot, SpecDelta};
+use archex::ExploreOptions;
+use bench::data_collection_workload;
+use bench::json::{write_service_json, ServiceSummary};
+use bench::util::{env_f64, env_usize};
+use devlib::DeviceKind;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Splitmix64: one u64 in, one u64 out, no state. Each request derives its
+/// randomness from `(seed, client, round, draw)` so the trace does not
+/// depend on submission interleaving.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+struct Draw {
+    seed: u64,
+    client: u64,
+    round: u64,
+    n: u64,
+}
+
+impl Draw {
+    fn new(seed: u64, client: u64, round: u64) -> Self {
+        Draw {
+            seed,
+            client,
+            round,
+            n: 0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.n += 1;
+        mix(self
+            .seed
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(self.client.wrapping_mul(10_007))
+            .wrapping_add(self.round.wrapping_mul(101))
+            .wrapping_add(self.n))
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The per-client route names added so far, so `RouteRemove` only ever
+/// targets something that exists (poison is injected deliberately, not by
+/// accident of the trace).
+#[derive(Default, Clone)]
+struct ClientState {
+    routes: Vec<String>,
+}
+
+/// Builds the deterministic delta batch for `(client, round)`.
+fn deltas_for(
+    seed: u64,
+    client: u64,
+    round: u64,
+    snap_names: &SnapNames,
+    state: &mut ClientState,
+) -> Vec<SpecDelta> {
+    let mut rng = Draw::new(seed, client, round);
+    let roll = rng.below(100);
+    if roll < 60 {
+        // Price shift on a random component, scaled 0.5x–1.5x of list.
+        let k = rng.below(snap_names.components.len() as u64) as usize;
+        let (name, base) = &snap_names.components[k];
+        vec![SpecDelta::DevicePrice {
+            component: name.clone(),
+            cost: (base * (0.5 + rng.unit())).max(0.0),
+        }]
+    } else if roll < 80 {
+        // Stock toggle on a relay (never sinks: every design needs one).
+        let k = rng.below(snap_names.relays.len() as u64) as usize;
+        vec![SpecDelta::DeviceStock {
+            component: snap_names.relays[k].clone(),
+            in_stock: rng.below(2) == 0,
+        }]
+    } else if roll < 90 {
+        // A wall going up (mostly) or coming down between two nodes.
+        let n = snap_names.nodes.len() as u64;
+        let i = rng.below(n) as usize;
+        let mut j = rng.below(n) as usize;
+        if i == j {
+            j = (j + 1) % snap_names.nodes.len();
+        }
+        vec![SpecDelta::WallEdit {
+            a: snap_names.nodes[i].clone(),
+            b: snap_names.nodes[j].clone(),
+            delta_db: rng.unit() * 18.0 - 6.0,
+        }]
+    } else if roll < 95 || state.routes.is_empty() {
+        let name = format!("storm-{}-{}", client, round);
+        state.routes.push(name.clone());
+        vec![SpecDelta::RouteAdd {
+            family: archex::requirements::RouteFamily {
+                name,
+                from: archex::Selector::Sensors,
+                to: archex::Selector::Sink,
+                max_hops: None,
+            },
+        }]
+    } else {
+        let k = rng.below(state.routes.len() as u64) as usize;
+        let name = state.routes.remove(k);
+        vec![SpecDelta::RouteRemove { name }]
+    }
+}
+
+/// Names pulled out of the seed snapshot once, so delta generation never
+/// touches shared state.
+struct SnapNames {
+    components: Vec<(String, f64)>,
+    relays: Vec<String>,
+    nodes: Vec<String>,
+}
+
+struct StormConfig {
+    seed: u64,
+    clients: usize,
+    reqs: usize,
+    workers: usize,
+    queue: usize,
+    deadline: Duration,
+    /// Max outstanding requests during submission (closed-loop window).
+    inflight: usize,
+    smoke: bool,
+}
+
+struct StormResult {
+    summary: ServiceSummary,
+    panics: u64,
+    late_served: u64,
+    p99_served_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn run_storm(
+    cfg: &StormConfig,
+    seed_snap: &SessionSnapshot,
+    names: &SnapNames,
+    faults: ServiceFaults,
+    force_cold: bool,
+) -> StormResult {
+    let svc = DesignService::start(
+        ServiceConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue,
+            default_deadline: cfg.deadline,
+            degraded_budget: Duration::from_millis(200),
+            force_cold,
+        },
+        seed_snap.clone(),
+        faults,
+    );
+
+    let mut states: Vec<ClientState> = vec![ClientState::default(); cfg.clients];
+    let t0 = Instant::now();
+    // Closed-loop clients with a bounded in-flight window: before the next
+    // submit, the oldest outstanding ticket is drained once the window is
+    // full. Latency then measures the service (solve time plus a few
+    // requests of queue wait), not a backlog of our own making — essential
+    // on small worker counts, where hundreds of simultaneous clients would
+    // drown every solve in queue wait and blur the warm/cold comparison.
+    // The delta trace is keyed on (seed, client, round), so the window
+    // size changes scheduling, never the workload.
+    let inflight_cap = cfg.inflight.max(1);
+    let mut outcomes: Vec<(Outcome, bool)> = Vec::with_capacity(cfg.clients * cfg.reqs);
+    let mut pending: std::collections::VecDeque<(Ticket, bool)> =
+        std::collections::VecDeque::with_capacity(inflight_cap);
+    for round in 0..cfg.reqs {
+        for (client, state) in states.iter_mut().enumerate() {
+            let mut deltas = deltas_for(
+                cfg.seed,
+                client as u64,
+                round as u64,
+                names,
+                state,
+            );
+            // Smoke: poison exactly one request (client 1, round 1) with an
+            // unknown component — it must fail typed, nothing else.
+            let poisoned = cfg.smoke && client == 1 && round == 1;
+            if poisoned {
+                deltas = vec![SpecDelta::DevicePrice {
+                    component: "storm-poison-device".into(),
+                    cost: 1.0,
+                }];
+            }
+            if pending.len() >= inflight_cap {
+                let (t, p) = pending.pop_front().expect("window non-empty");
+                outcomes.push((t.wait(), p));
+            }
+            pending.push_back((
+                svc.submit(Request {
+                    session: client as u64,
+                    deltas,
+                    deadline: None,
+                }),
+                poisoned,
+            ));
+        }
+    }
+    outcomes.extend(pending.into_iter().map(|(t, p)| (t.wait(), p)));
+    let wall = t0.elapsed();
+
+    if env_usize("STORM_DEBUG", 0) != 0 {
+        for (i, (out, _)) in outcomes.iter().enumerate() {
+            match out.info() {
+                Some(s) => eprintln!(
+                    "req {:3} {:8} rung={} warm={} reenc={} status={:?} obj={:?} total_ms={:.1}",
+                    i,
+                    out.kind(),
+                    s.rung,
+                    s.warm_used,
+                    s.reencoded,
+                    s.status,
+                    s.objective,
+                    s.total.as_secs_f64() * 1e3,
+                ),
+                None => eprintln!("req {:3} {:8} {:?}", i, out.kind(), out),
+            }
+        }
+    }
+
+    let mut answered_ms: Vec<f64> = Vec::new();
+    let mut served_ms: Vec<f64> = Vec::new();
+    let mut panics = 0u64;
+    let mut late_served = 0u64;
+    for (out, poisoned) in &outcomes {
+        match out {
+            Outcome::Served(i) => {
+                answered_ms.push(i.total.as_secs_f64() * 1e3);
+                served_ms.push(i.total.as_secs_f64() * 1e3);
+                if i.total > cfg.deadline {
+                    late_served += 1;
+                }
+            }
+            Outcome::Degraded(i) => answered_ms.push(i.total.as_secs_f64() * 1e3),
+            Outcome::Shed => {}
+            Outcome::Failed(msg) => {
+                if msg.contains("panic") {
+                    panics += 1;
+                }
+                if !poisoned && cfg.smoke {
+                    eprintln!("storm: unexpected failure: {}", msg);
+                }
+            }
+        }
+    }
+    answered_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    served_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    let m = svc.metrics();
+    use std::sync::atomic::Ordering::Relaxed;
+    let summary = ServiceSummary {
+        seed: cfg.seed,
+        clients: cfg.clients,
+        requests: outcomes.len(),
+        workers: cfg.workers,
+        queue_capacity: cfg.queue,
+        deadline_ms: cfg.deadline.as_secs_f64() * 1e3,
+        wall_s: wall.as_secs_f64(),
+        throughput_rps: outcomes.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&answered_ms, 0.50),
+        p99_ms: percentile(&answered_ms, 0.99),
+        served: m.served.load(Relaxed),
+        degraded: m.degraded.load(Relaxed),
+        shed: m.shed.load(Relaxed),
+        failed: m.failed.load(Relaxed),
+        cancelled: m.cancelled.load(Relaxed),
+        queue_depth_max: m.queue_depth_max.load(Relaxed),
+        sessions_rebuilt: m.sessions_rebuilt.load(Relaxed),
+        warm_solves: m.warm_solves.load(Relaxed),
+        cold_solves: m.cold_solves.load(Relaxed),
+    };
+    svc.shutdown();
+    StormResult {
+        summary,
+        panics,
+        late_served,
+        p99_served_ms: percentile(&served_ms, 0.99),
+    }
+}
+
+fn print_summary(tag: &str, s: &ServiceSummary) {
+    println!(
+        "STORM {} requests={} wall_s={:.2} rps={:.1} p50_ms={:.1} p99_ms={:.1} \
+         served={} degraded={} shed={} failed={} cancelled={} depth_max={} \
+         rebuilt={} warm={} cold={}",
+        tag,
+        s.requests,
+        s.wall_s,
+        s.throughput_rps,
+        s.p50_ms,
+        s.p99_ms,
+        s.served,
+        s.degraded,
+        s.shed,
+        s.failed,
+        s.cancelled,
+        s.queue_depth_max,
+        s.sessions_rebuilt,
+        s.warm_solves,
+        s.cold_solves,
+    );
+}
+
+fn main() {
+    let mode = std::env::var("STORM_MODE").unwrap_or_else(|_| "full".to_string());
+    let smoke = mode == "smoke";
+    let workers = env_usize(
+        "STORM_WORKERS",
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+    );
+    let cfg = StormConfig {
+        seed: env_usize("STORM_SEED", 7) as u64,
+        clients: env_usize("STORM_CLIENTS", if smoke { 24 } else { 400 }),
+        reqs: env_usize("STORM_REQS", if smoke { 3 } else { 5 }),
+        workers,
+        queue: env_usize("STORM_QUEUE", 4096),
+        deadline: Duration::from_secs_f64(
+            env_f64("STORM_DEADLINE_MS", if smoke { 3000.0 } else { 15_000.0 }) / 1e3,
+        ),
+        inflight: env_usize("STORM_INFLIGHT", (2 * workers).max(4)),
+        smoke,
+    };
+
+    // An interactive-scale workload: the office floor plan and multi-wall
+    // channel of the paper benchmarks, but a spec sized for sub-second
+    // re-solves (link-disjoint route pair, no lifetime constraint) — a
+    // design *session* answers in interactive time or it is useless. Size
+    // is tunable (`STORM_NODES`/`STORM_END`) for harder storms.
+    let w = data_collection_workload(
+        env_usize("STORM_NODES", 18),
+        env_usize("STORM_END", 5),
+        "cost",
+    );
+    let req = archex::Requirements::from_spec_text(
+        "set noise_dbm = -100\n\
+         routes  = has_path(sensors, sink)\n\
+         routes2 = has_path(sensors, sink)\n\
+         disjoint_links(routes, routes2)\n\
+         min_signal_to_noise(15)\n\
+         objective minimize cost\n",
+    )
+    .expect("builtin storm spec parses");
+    let mut template = w.template.clone();
+    // The workload pruned links for its own (stricter) spec; re-prune for
+    // the storm requirements.
+    template.prune_links(&w.library, req.params.noise_dbm, req.effective_min_snr_db());
+    let seed_snap = SessionSnapshot::new(
+        template.clone(),
+        w.library.clone(),
+        req.clone(),
+        ExploreOptions::approx(env_usize("STORM_KSTAR", 8)),
+    );
+    let names = SnapNames {
+        components: w
+            .library
+            .components()
+            .iter()
+            .map(|c| (c.name.clone(), c.cost))
+            .collect(),
+        relays: w
+            .library
+            .of_kind(DeviceKind::Relay)
+            .map(|(_, c)| c.name.clone())
+            .collect(),
+        nodes: template.nodes().iter().map(|n| n.name.clone()).collect(),
+    };
+
+    // Smoke faults: two mid-request cancellations and one simulated worker
+    // death, all on deterministic ordinals of the fixed trace.
+    let faults = if smoke {
+        ServiceFaults::new()
+            .cancel_request(cfg.clients as u64) // client 0, round 1
+            .cancel_request(cfg.clients as u64 + 5) // client 5, round 1
+            .kill_session_on(2 * cfg.clients as u64 + 3) // client 3, round 2
+    } else {
+        ServiceFaults::new()
+    };
+
+    let warm = run_storm(&cfg, &seed_snap, &names, faults.clone(), false);
+    print_summary(if smoke { "smoke" } else { "warm" }, &warm.summary);
+
+    let ablation = if !smoke && env_usize("STORM_ABLATION", 1) != 0 {
+        let cold = run_storm(&cfg, &seed_snap, &names, faults, true);
+        print_summary("cold-ablation", &cold.summary);
+        println!(
+            "STORM speedup p50 {:.2}x (warm {:.1} ms vs cold {:.1} ms)",
+            cold.summary.p50_ms / warm.summary.p50_ms.max(1e-9),
+            warm.summary.p50_ms,
+            cold.summary.p50_ms,
+        );
+        Some(cold.summary)
+    } else {
+        None
+    };
+
+    let json_path = std::env::var("STORM_JSON").unwrap_or_else(|_| "BENCH_service.json".into());
+    if !json_path.is_empty() {
+        let path = PathBuf::from(&json_path);
+        if let Err(e) =
+            write_service_json(&path, "service_storm", &warm.summary, ablation.as_ref())
+        {
+            eprintln!("storm: failed to write {}: {}", json_path, e);
+            std::process::exit(1);
+        }
+        println!("STORM json={}", json_path);
+    }
+
+    if smoke {
+        let s = &warm.summary;
+        let mut bad = Vec::new();
+        if warm.panics > 0 {
+            bad.push(format!("{} panics crossed the service boundary", warm.panics));
+        }
+        if warm.late_served > 0 {
+            bad.push(format!(
+                "{} requests served past the deadline without a degraded/shed outcome",
+                warm.late_served
+            ));
+        }
+        if warm.p99_served_ms > s.deadline_ms {
+            bad.push(format!(
+                "served p99 {:.1} ms over the {:.0} ms budget",
+                warm.p99_served_ms, s.deadline_ms
+            ));
+        }
+        if s.cancelled < 2 {
+            bad.push("injected cancellations did not fire".to_string());
+        }
+        if s.sessions_rebuilt < 1 {
+            bad.push("injected worker death did not rebuild a session".to_string());
+        }
+        if s.failed != 1 {
+            bad.push(format!(
+                "expected exactly the poisoned request to fail, saw {}",
+                s.failed
+            ));
+        }
+        if (s.served + s.degraded + s.shed + s.failed) as usize != s.requests {
+            bad.push("not every request resolved to a typed outcome".to_string());
+        }
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("storm smoke FAILED: {}", b);
+            }
+            std::process::exit(1);
+        }
+        println!("STORM smoke ok");
+    }
+}

@@ -1,3 +1,7 @@
+// Production-path code must surface failures through typed errors, not
+// panic; tests and doctests are exempt (unwrap on known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Wireless channel models for the network DSE stack: path loss (free
 //! space, log-distance, multi-wall), modulation BER curves, link budgets
 //! (RSS/SNR), and expected-transmission-count (ETX) envelopes.

@@ -201,6 +201,32 @@ impl Encoding {
         e
     }
 
+    /// Marks the component at library index `lib_idx` as unavailable: every
+    /// sizing variable that selects it is fixed to zero. A bound change
+    /// only — model structure (and its [`milp::structure_fingerprint`]) is
+    /// preserved, so warm state survives stock toggles.
+    pub fn ban_component(&mut self, lib_idx: usize) {
+        for node in 0..self.map_vars.len() {
+            for &(k, v) in self.map_vars[node].clone().iter() {
+                if k == lib_idx {
+                    self.model.fix(v, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Undoes [`Encoding::ban_component`]: restores the binary `[0, 1]`
+    /// domain of every sizing variable selecting `lib_idx`.
+    pub fn unban_component(&mut self, lib_idx: usize) {
+        for node in 0..self.map_vars.len() {
+            for &(k, v) in self.map_vars[node].clone().iter() {
+                if k == lib_idx {
+                    self.model.set_bounds(v, 0.0, 1.0);
+                }
+            }
+        }
+    }
+
     /// Gets or creates the edge activation variable `e_ij`, linking it to
     /// node usage (`e <= u_i`, `e <= u_j`).
     pub fn edge_var(&mut self, i: usize, j: usize) -> Vid {

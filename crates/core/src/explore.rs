@@ -30,6 +30,13 @@ pub struct ExploreOptions {
     /// problem — falls back to a cold solve, so a resume attempt is always
     /// safe.
     pub resume_from: Option<PathBuf>,
+    /// Library indices of components that are out of stock: their sizing
+    /// variables are fixed to zero after encoding, so no node may select
+    /// them. Bound fixings, not structure — the encoded model keeps the
+    /// same shape (and [`milp::structure_fingerprint`]) as the unrestricted
+    /// one, which is what lets a [`crate::session::DesignSession`] toggle
+    /// stock without a re-encode.
+    pub banned_components: Vec<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -40,6 +47,7 @@ impl Default for ExploreOptions {
             solver: milp::Config::default(),
             pricing: false,
             resume_from: None,
+            banned_components: Vec::new(),
         }
     }
 }
@@ -199,6 +207,9 @@ pub fn explore(
         }
         _ => encode_with_lq(template, library, req, opts.mode, opts.lq_encoding)?,
     };
+    for &lib_idx in &opts.banned_components {
+        enc.ban_component(lib_idx);
+    }
     let encode_time = t0.elapsed();
     let mut stats = ExploreStats {
         num_vars: enc.model.num_vars(),

@@ -62,6 +62,8 @@ pub mod pricing;
 pub mod report;
 pub mod requirements;
 pub mod resilience;
+pub mod service;
+pub mod session;
 pub mod spec;
 pub mod template;
 
@@ -76,5 +78,11 @@ pub use pricing::PathPricer;
 pub use report::{design_summary, design_to_svg, Table};
 pub use requirements::{Params, Protocol, Requirements};
 pub use resilience::{analyze_resilience, ResilienceReport};
+pub use service::{
+    DesignService, Outcome, Request, ServedInfo, ServiceConfig, ServiceFaults, ServiceMetrics,
+};
+pub use session::{
+    DeltaError, DesignSession, SessionOutcome, SessionSnapshot, SessionStats, SpecDelta,
+};
 pub use spec::{parse_spec, ObjKind, Selector, Stmt};
 pub use template::{NetworkTemplate, NodeRole, TemplateNode};

@@ -194,6 +194,26 @@ impl NetworkTemplate {
         }
     }
 
+    /// Adds `delta_db` to the path loss between nodes `i` and `j`, in both
+    /// directions — the floorplan changed (a wall went up or came down)
+    /// without moving any node. Callers must re-run
+    /// [`Self::prune_links`] afterwards: the candidate link set is stale
+    /// until then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::compute_path_loss`] has not run or `i == j`.
+    pub fn add_path_loss_db(&mut self, i: usize, j: usize, delta_db: f64) {
+        assert!(
+            !self.pl.is_empty(),
+            "compute_path_loss must run before add_path_loss_db"
+        );
+        assert_ne!(i, j, "path loss is only defined between distinct nodes");
+        let n = self.nodes.len();
+        self.pl[i * n + j] += delta_db;
+        self.pl[j * n + i] += delta_db;
+    }
+
     /// Path loss between two nodes (dB; `INFINITY` when unknown).
     pub fn path_loss(&self, i: usize, j: usize) -> f64 {
         let n = self.nodes.len();

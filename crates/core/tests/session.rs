@@ -1,0 +1,304 @@
+//! Delta-equivalence property test for the design-session subsystem.
+//!
+//! A [`DesignSession`] fed a random sequence of [`SpecDelta`]s must agree,
+//! after every delta, with a cold re-encode + [`explore`] of the
+//! identically mutated spec: the same feasibility verdict and an objective
+//! within tolerance. The incremental path may warm-start, skip re-encodes,
+//! and fix variable bounds in place — none of which is allowed to change
+//! *what* is optimal, only how fast it is found. The whole equivalence is
+//! checked at 1, 2, and 4 solver threads, and the optimal objectives must
+//! agree across thread counts too.
+
+use archex::design::verify_design;
+use archex::explore::{explore, ExploreOptions};
+use archex::requirements::{Requirements, RouteFamily};
+use archex::session::{DesignSession, SpecDelta};
+use archex::spec::Selector;
+use archex::template::{NetworkTemplate, NodeRole};
+use channel::LogDistance;
+use devlib::{catalog, Library};
+use floorplan::Point;
+use proptest::prelude::*;
+
+const SPEC: &str =
+    "p = has_path(sensors, sink)\nmin_signal_to_noise(12)\nobjective minimize cost";
+
+/// Relative tolerance when comparing incremental vs cold objectives. Both
+/// solves run to proven optimality (no time limit), so any real divergence
+/// shows up far above this.
+const TOL: f64 = 1e-6;
+
+fn template_strategy() -> impl Strategy<Value = NetworkTemplate> {
+    let relay = (8.0..32.0f64, -10.0..10.0f64);
+    prop::collection::vec(relay, 2..6).prop_map(|relays| {
+        let mut t = NetworkTemplate::new();
+        t.add_node("s0", Point::new(0.0, 0.0), NodeRole::Sensor);
+        for (i, (x, y)) in relays.iter().enumerate() {
+            t.add_node(format!("r{}", i), Point::new(*x, *y), NodeRole::Relay);
+        }
+        t.add_node("sink", Point::new(40.0, 0.0), NodeRole::Sink);
+        t.compute_path_loss(&LogDistance::indoor_2_4ghz());
+        t.prune_links(&catalog::zigbee_reference(), -100.0, 10.0);
+        t
+    })
+}
+
+/// Abstract move, concretized against the instance so every generated
+/// delta is valid (validation rejection is covered by the unit tests; this
+/// test is about equivalence of *accepted* deltas).
+#[derive(Debug, Clone)]
+enum Move {
+    Price { comp: usize, cost: f64 },
+    Stock { comp: usize, in_stock: bool },
+    Wall { a: usize, b: usize, delta_db: f64 },
+    Route { add: bool },
+}
+
+fn moves_strategy() -> impl Strategy<Value = Vec<Move>> {
+    let m = prop_oneof![
+        (0usize..64, 0.0..150.0f64).prop_map(|(comp, cost)| Move::Price { comp, cost }),
+        (0usize..64, any::<bool>()).prop_map(|(comp, in_stock)| Move::Stock { comp, in_stock }),
+        (0usize..64, 0usize..64, -6.0..10.0f64)
+            .prop_map(|(a, b, delta_db)| Move::Wall { a, b, delta_db }),
+        any::<bool>().prop_map(|add| Move::Route { add }),
+    ];
+    prop::collection::vec(m, 1..5)
+}
+
+fn concretize(moves: &[Move], t: &NetworkTemplate, lib: &Library) -> Vec<SpecDelta> {
+    let n = t.num_nodes();
+    let mut extras: Vec<String> = Vec::new();
+    let mut next_extra = 0usize;
+    let mut out = Vec::new();
+    for m in moves {
+        match m {
+            Move::Price { comp, cost } => out.push(SpecDelta::DevicePrice {
+                component: lib.get(comp % lib.len()).expect("in range").name.clone(),
+                cost: *cost,
+            }),
+            Move::Stock { comp, in_stock } => out.push(SpecDelta::DeviceStock {
+                component: lib.get(comp % lib.len()).expect("in range").name.clone(),
+                in_stock: *in_stock,
+            }),
+            Move::Wall { a, b, delta_db } => {
+                let i = a % n;
+                let j = if b % n == i { (i + 1) % n } else { b % n };
+                out.push(SpecDelta::WallEdit {
+                    a: t.nodes()[i].name.clone(),
+                    b: t.nodes()[j].name.clone(),
+                    delta_db: *delta_db,
+                });
+            }
+            Move::Route { add } => {
+                if *add || extras.is_empty() {
+                    let name = format!("extra-{}", next_extra);
+                    next_extra += 1;
+                    extras.push(name.clone());
+                    out.push(SpecDelta::RouteAdd {
+                        family: RouteFamily {
+                            name,
+                            from: Selector::Sensors,
+                            to: Selector::Sink,
+                            max_hops: None,
+                        },
+                    });
+                } else {
+                    out.push(SpecDelta::RouteRemove {
+                        name: extras.pop().expect("checked non-empty"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies `d` to the cold-reference copy of the spec, mirroring exactly
+/// what `DesignSession::apply` does to its own state. Stock bans become
+/// `ExploreOptions::banned_components` entries, the only way a one-shot
+/// `explore` can express them.
+fn apply_cold(
+    d: &SpecDelta,
+    t: &mut NetworkTemplate,
+    lib: &mut Library,
+    req: &mut Requirements,
+    banned: &mut Vec<usize>,
+) {
+    match d {
+        SpecDelta::DevicePrice { component, cost } => {
+            assert!(lib.set_cost(component, *cost));
+        }
+        SpecDelta::DeviceStock {
+            component,
+            in_stock,
+        } => {
+            let idx = lib.index_of(component).expect("concretized from lib");
+            if *in_stock {
+                banned.retain(|&b| b != idx);
+            } else if !banned.contains(&idx) {
+                banned.push(idx);
+            }
+        }
+        SpecDelta::WallEdit { a, b, delta_db } => {
+            let i = t.index_of(a).expect("concretized from template");
+            let j = t.index_of(b).expect("concretized from template");
+            t.add_path_loss_db(i, j, *delta_db);
+            t.prune_links(lib, req.params.noise_dbm, req.effective_min_snr_db());
+        }
+        SpecDelta::RouteAdd { family } => req.routes.push(family.clone()),
+        SpecDelta::RouteRemove { name } => {
+            let idx = req
+                .routes
+                .iter()
+                .position(|r| r.name == *name)
+                .expect("only removes routes it added");
+            req.routes.remove(idx);
+            req.disjoint.retain(|&(a, b)| a != idx && b != idx);
+            for pair in &mut req.disjoint {
+                if pair.0 > idx {
+                    pair.0 -= 1;
+                }
+                if pair.1 > idx {
+                    pair.1 -= 1;
+                }
+            }
+        }
+    }
+}
+
+fn options(threads: usize) -> ExploreOptions {
+    let mut opts = ExploreOptions::approx(5);
+    opts.solver = opts.solver.with_threads(threads);
+    opts
+}
+
+/// Solves the session and the cold reference and asserts they agree.
+/// Returns the shared optimal objective (`None` if both are infeasible).
+fn check_step(
+    session: &mut DesignSession,
+    ct: &NetworkTemplate,
+    clib: &Library,
+    creq: &Requirements,
+    banned: &[usize],
+    threads: usize,
+    step: usize,
+) -> Option<f64> {
+    let mut copts = options(threads);
+    copts.banned_components = banned.to_vec();
+
+    let inc = session.solve();
+    let cold = explore(ct, clib, creq, &copts);
+    let ctx = format!("threads={} step={}", threads, step);
+
+    let (inc, cold) = match (inc, cold) {
+        (Ok(i), Ok(c)) => (i, c),
+        (Err(_), Err(_)) => return None,
+        (i, c) => panic!(
+            "{}: one path failed to encode: incremental={:?} cold={:?}",
+            ctx,
+            i.map(|o| o.status),
+            c.map(|o| o.status),
+        ),
+    };
+
+    assert_eq!(
+        inc.status.has_solution(),
+        cold.status.has_solution(),
+        "{}: feasibility verdicts diverge: incremental={:?} cold={:?}",
+        ctx,
+        inc.status,
+        cold.status
+    );
+    let (Some(di), Some(dc)) = (&inc.design, &cold.design) else {
+        assert!(
+            inc.design.is_none() && cold.design.is_none(),
+            "{}: one path has a design, the other does not",
+            ctx
+        );
+        return None;
+    };
+
+    let scale = dc.total_cost.abs().max(1.0);
+    assert!(
+        (di.total_cost - dc.total_cost).abs() <= TOL * scale,
+        "{}: objectives diverge: incremental={} cold={}",
+        ctx,
+        di.total_cost,
+        dc.total_cost
+    );
+    // The incremental design must verify against the *mutated* spec — not
+    // merely cost the same — and must not use banned components.
+    let violations = verify_design(di, ct, clib, creq);
+    assert!(violations.is_empty(), "{}: {:?}", ctx, violations);
+    for node in &di.placed {
+        assert!(
+            !banned.contains(&node.component),
+            "{}: design uses banned component {}",
+            ctx,
+            node.component
+        );
+    }
+    Some(dc.total_cost)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core equivalence: after every accepted delta, the warm session
+    /// and a from-scratch explore of the mutated spec agree, at 1/2/4
+    /// threads, and the objective trajectory is identical across thread
+    /// counts.
+    #[test]
+    fn incremental_matches_cold_reencode(
+        t in template_strategy(),
+        moves in moves_strategy(),
+    ) {
+        let lib = catalog::zigbee_reference();
+        let req = Requirements::from_spec_text(SPEC).expect("spec parses");
+        let deltas = concretize(&moves, &t, &lib);
+
+        let mut trajectories: Vec<Vec<Option<f64>>> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut session =
+                DesignSession::new(t.clone(), lib.clone(), req.clone(), options(threads));
+            let mut ct = t.clone();
+            let mut clib = lib.clone();
+            let mut creq = req.clone();
+            let mut banned: Vec<usize> = Vec::new();
+
+            let mut objs = Vec::with_capacity(deltas.len() + 1);
+            objs.push(check_step(&mut session, &ct, &clib, &creq, &banned, threads, 0));
+            for (k, d) in deltas.iter().enumerate() {
+                session.apply(d).expect("concretized deltas are valid");
+                apply_cold(d, &mut ct, &mut clib, &mut creq, &mut banned);
+                objs.push(check_step(
+                    &mut session, &ct, &clib, &creq, &banned, threads, k + 1,
+                ));
+            }
+
+            prop_assert!(
+                session.stats().deltas_applied as usize == deltas.len(),
+                "session dropped a delta"
+            );
+            trajectories.push(objs);
+        }
+
+        // Thread count must not change what is optimal at any step.
+        for (i, traj) in trajectories.iter().enumerate().skip(1) {
+            for (k, (a, b)) in trajectories[0].iter().zip(traj).enumerate() {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => prop_assert!(
+                        (x - y).abs() <= TOL * x.abs().max(1.0),
+                        "step {}: objective differs between 1 thread ({}) and {} threads ({})",
+                        k, x, [1, 2, 4][i], y
+                    ),
+                    _ => panic!(
+                        "step {}: feasibility differs between 1 thread and {} threads",
+                        k, [1, 2, 4][i]
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -1,3 +1,7 @@
+// Production-path code must surface failures through typed errors, not
+// panic; tests and doctests are exempt (unwrap on known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Wireless component libraries: devices with cost/RF/power attributes, a
 //! ZigBee-class reference catalog, and a plain-text library format.
 //!

@@ -101,6 +101,23 @@ impl Library {
             .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
     }
 
+    /// Updates the price of the named component in place, returning `true`
+    /// when the component exists and `cost` is valid (finite, non-negative).
+    /// Invalid costs and unknown names leave the library untouched — the
+    /// invariants established by [`Library::new`] always hold.
+    pub fn set_cost(&mut self, name: &str, cost: f64) -> bool {
+        if !cost.is_finite() || cost < 0.0 {
+            return false;
+        }
+        match self.components.iter_mut().find(|c| c.name == name) {
+            Some(c) => {
+                c.cost = cost;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Maximum TX power + antenna gain over components of a kind — the best
     /// possible effective radiated power, used for candidate-link pruning.
     pub fn max_eirp_of(&self, kind: DeviceKind) -> Option<f64> {

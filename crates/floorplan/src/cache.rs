@@ -57,7 +57,12 @@ impl<'a> CrossingCache<'a> {
 
     fn lookup(&self, a: Point, b: Point) -> (usize, f64) {
         let key = pair_key(a, b);
-        let mut map = self.map.lock().unwrap();
+        // Poisoning only happens if a holder panicked; the map is still a
+        // valid cache either way, so recover it rather than propagating.
+        let mut map = match self.map.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         if let Some(&v) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v;

@@ -1,3 +1,7 @@
+// Production-path code must surface failures through typed errors, not
+// panic; tests and doctests are exempt (unwrap on known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Floor plans for indoor wireless deployment: 2-D geometry, walls with
 //! material attenuation, a minimal SVG subset parser/writer, and synthetic
 //! office-building generators.

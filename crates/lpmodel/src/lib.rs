@@ -1,3 +1,7 @@
+// Production-path code must surface failures through typed errors, not
+// panic; tests and doctests are exempt (unwrap on known-good fixtures).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Symbolic MILP modeling layer (the stack's YALMIP analog).
 //!
 //! This crate sits between the raw [`milp`] solver and the architecture

@@ -141,6 +141,13 @@ impl Model {
         self.problem.set_var_bounds(self.registry[v.0], value, value);
     }
 
+    /// Replaces the bounds of `v` outright — unlike [`Model::tighten`],
+    /// which only ever narrows, this can relax. Needed to undo a
+    /// [`Model::fix`] (e.g. a component coming back in stock).
+    pub fn set_bounds(&mut self, v: Vid, lo: f64, hi: f64) {
+        self.problem.set_var_bounds(self.registry[v.0], lo, hi);
+    }
+
     /// Bounds of `v`.
     pub fn bounds(&self, v: Vid) -> (f64, f64) {
         self.problem.var_bounds(self.registry[v.0])
@@ -314,6 +321,13 @@ impl ModelSolution {
     /// Panics if no solution is available.
     pub fn eval(&self, e: &LinExpr) -> f64 {
         e.eval(|v| self.value(v))
+    }
+
+    /// The full solution vector in [`Vid`] order (empty when no solution is
+    /// available). Callers that warm-start a later solve of the *same* model
+    /// structure pass this slice to [`milp::Config::with_warm_start`].
+    pub fn values(&self) -> &[f64] {
+        self.sol.values()
     }
 
     /// Underlying solver statistics.

@@ -486,11 +486,35 @@ pub fn solve_milp_with(
     // --- Incumbent state (internal minimize sense) ---
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
 
+    // A caller-supplied warm-start point (the previous optimum of a nearby
+    // problem, in original variable order) seeds the incumbent when it
+    // still satisfies every row, bound, and integrality constraint of
+    // *this* problem: the search then opens with a proven primal bound and
+    // reduced-cost fixing bites from the root. Validation happens against
+    // both the original and the reduced problem — presolve may have fixed
+    // variables by dominance arguments that exclude feasible-but-worse
+    // points, in which case the hint is dropped rather than trusted. After
+    // pricing grew the variable space the size check fails and the hint is
+    // ignored (priced columns have no value in the caller's vector).
+    if let Some(warm) = cfg.warm_start.as_deref() {
+        if problem.check_feasible(warm, cfg.int_tol).is_none() {
+            if let Some(red) = ps.map_to_reduced(warm, cfg.int_tol) {
+                if reduced.check_feasible(&red, cfg.int_tol).is_none() {
+                    let obj: f64 = lp.c.iter().zip(&red).map(|(&c, &x)| c * x).sum();
+                    incumbent = Some((obj, red));
+                    stats.warm_seeded = true;
+                }
+            }
+        }
+    }
+
     // Root heuristics.
     if cfg.heuristics && !int_vars.is_empty() {
         if let Some((obj, x)) = heur::try_rounding(reduced, &lp, &root.x, cfg.int_tol) {
-            incumbent = Some((obj, x));
-            stats.heuristic_solutions += 1;
+            if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
+                incumbent = Some((obj, x));
+                stats.heuristic_solutions += 1;
+            }
         }
         let root_dive_budget = cfg
             .time_limit

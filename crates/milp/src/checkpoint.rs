@@ -54,6 +54,33 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Structural fingerprint of a [`crate::Problem`]: dimensions, variable
+/// types, and the row coefficient pattern — deliberately **excluding** the
+/// objective and all variable/row bounds. Two problems with equal
+/// fingerprints index the same variables the same way, so a solution
+/// vector of one is at least *well-formed* for the other (feasibility is
+/// still re-checked separately). Incremental re-solve sessions use this to
+/// gate warm-state reuse: objective edits and bound tightenings keep the
+/// fingerprint, anything that adds, drops, or reorders variables or rows
+/// changes it and forces a cold path.
+pub fn structure_fingerprint(p: &crate::problem::Problem) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_usize(p.num_vars());
+    w.put_usize(p.num_rows());
+    for j in 0..p.num_vars() {
+        w.put_u8(p.var_type(crate::problem::VarId(j)) as u8);
+    }
+    for r in p.row_ids() {
+        let coefs = p.row_coefs(r);
+        w.put_usize(coefs.len());
+        for &(v, c) in coefs {
+            w.put_usize(v.index());
+            w.put_f64(c);
+        }
+    }
+    fnv1a64(&w.into_bytes())
+}
+
 /// Why a frame could not be loaded or applied.
 #[derive(Debug)]
 pub enum FrameError {

@@ -297,6 +297,16 @@ pub struct Config {
     /// next checkpoint after [`CancelToken::cancel`] and returns the best
     /// incumbent with a limit status, exactly like a deadline expiry.
     pub cancel: Option<CancelToken>,
+    /// Warm-start hint: a feasible point of the problem in **original**
+    /// (pre-presolve) variable order — typically the previous optimum of a
+    /// closely related solve. The solver re-validates it against the current
+    /// rows, bounds, and integrality; when it still holds, it seeds the
+    /// initial incumbent so the tree search starts with a proven primal
+    /// bound and reduced-cost fixing bites from the root. A stale or
+    /// inconsistent vector is silently ignored (the solve runs cold but
+    /// stays correct), and the hint is never consulted while column
+    /// generation is growing the variable space.
+    pub warm_start: Option<Vec<f64>>,
     /// Deterministic fault-injection plan (tests only): forces LU
     /// singularities, worker panics, and simulated deadline expiry so every
     /// recovery path is exercised.
@@ -334,6 +344,7 @@ impl Default for Config {
             seed: 0x5eed,
             threads: 0,
             cancel: None,
+            warm_start: None,
             faults: None,
             checkpoint: None,
             cuts: CutConfig::default(),
@@ -411,6 +422,13 @@ impl Config {
     /// Attaches a cooperative cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Supplies a warm-start point (original variable order) to seed the
+    /// initial incumbent after validation.
+    pub fn with_warm_start(mut self, values: Vec<f64>) -> Self {
+        self.warm_start = Some(values);
         self
     }
 

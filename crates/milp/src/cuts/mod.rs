@@ -622,6 +622,23 @@ pub fn run_root_cuts(
         for c in found {
             pool.offer(c, var_lb, var_ub);
         }
+        out.rounds += 1;
+        // Mid-round cancellation point: a cancel that lands while the
+        // separators run must abort here, before selection marks anything
+        // applied and before the (expensive) append + reoptimize — not at
+        // the top of the *next* round. The fault hook fires scheduled test
+        // cancellations at exactly this spot so the within-one-round
+        // latency guarantee stays pinned. Separated cuts stay pending in
+        // the pool; nothing touches the LP.
+        if let Some(f) = cfg.faults.as_ref() {
+            f.mark_cut_round();
+        }
+        if cfg.is_cancelled() {
+            // Selection never ran, so count the separation round here to
+            // keep `rounds` = "separation rounds actually executed".
+            pool.rounds += 1;
+            break;
+        }
         let mut selected = pool.select(&root.x, ccfg);
         // Fault injection: plant one near-parallel duplicate of an applied
         // cut, bypassing the parallelism filter, to prove the recovery
@@ -644,7 +661,6 @@ pub fn run_root_cuts(
                 selected.push(pool.force_apply(twin));
             }
         }
-        out.rounds += 1;
         if selected.is_empty() {
             break;
         }

@@ -139,6 +139,10 @@ struct FaultState {
     pricing_reopts: AtomicU64,
     /// Checkpoint frames written so far (1-based ordinals).
     checkpoint_writes: AtomicU64,
+    /// Root cut separation rounds reached so far (1-based ordinals).
+    cut_round_marks: AtomicU64,
+    /// Root pricing rounds reached so far (1-based ordinals).
+    pricing_round_marks: AtomicU64,
 }
 
 /// Deterministic fault-injection plan for exercising the recovery paths.
@@ -182,6 +186,14 @@ pub struct FaultInjection {
     /// 1-based checkpoint-write ordinals whose on-disk frame is truncated
     /// mid-payload (a torn write the loader must detect and skip).
     corrupt_checkpoint_at: Vec<u64>,
+    /// `(ordinal, token)`: cancel `token` in the middle of the given
+    /// 1-based root cut round — after separation, before the append +
+    /// reoptimize — pinning the abort to within that round.
+    cancel_in_cut_round: Vec<(u64, CancelToken)>,
+    /// `(ordinal, token)`: cancel `token` in the middle of the given
+    /// 1-based root pricing round — after the oracle call, before the
+    /// column splice.
+    cancel_in_pricing_round: Vec<(u64, CancelToken)>,
     state: Arc<FaultState>,
 }
 
@@ -257,6 +269,23 @@ impl FaultInjection {
         self
     }
 
+    /// Cancels `token` in the middle of the `ordinal`-th (1-based) root cut
+    /// round: the cancellation lands after separation but before the round's
+    /// append + reoptimization, so a test can assert the loop aborts within
+    /// that round instead of running to the round limit.
+    pub fn cancel_in_cut_round(mut self, ordinal: u64, token: CancelToken) -> Self {
+        self.cancel_in_cut_round.push((ordinal, token));
+        self
+    }
+
+    /// Cancels `token` in the middle of the `ordinal`-th (1-based) root
+    /// pricing round: after the oracle priced its batch, before the columns
+    /// are spliced into the LP.
+    pub fn cancel_in_pricing_round(mut self, ordinal: u64, token: CancelToken) -> Self {
+        self.cancel_in_pricing_round.push((ordinal, token));
+        self
+    }
+
     /// Schedules one injected near-parallel cutting plane: the first root
     /// cut round appends an almost-identical copy of an applied cut,
     /// skipping the pool's parallelism filter. The resulting near-singular
@@ -318,6 +347,28 @@ impl FaultInjection {
     pub(crate) fn take_checkpoint_corruption(&self) -> bool {
         let ord = self.state.checkpoint_writes.fetch_add(1, Ordering::SeqCst) + 1;
         self.corrupt_checkpoint_at.contains(&ord)
+    }
+
+    /// Hook: called once per root cut round at its mid-round cancellation
+    /// point; fires any token scheduled for this ordinal.
+    pub(crate) fn mark_cut_round(&self) {
+        let ord = self.state.cut_round_marks.fetch_add(1, Ordering::SeqCst) + 1;
+        for (o, t) in &self.cancel_in_cut_round {
+            if *o == ord {
+                t.cancel();
+            }
+        }
+    }
+
+    /// Hook: called once per root pricing round at its mid-round
+    /// cancellation point; fires any token scheduled for this ordinal.
+    pub(crate) fn mark_pricing_round(&self) {
+        let ord = self.state.pricing_round_marks.fetch_add(1, Ordering::SeqCst) + 1;
+        for (o, t) in &self.cancel_in_pricing_round {
+            if *o == ord {
+                t.cancel();
+            }
+        }
     }
 }
 

@@ -63,7 +63,7 @@ pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
-pub use checkpoint::{load_frame, FrameError, SearchFrame};
+pub use checkpoint::{load_frame, structure_fingerprint, FrameError, SearchFrame};
 pub use config::{
     Branching, CheckpointConfig, ColGenConfig, Config, CutConfig, NodeSelection, PricingRule,
     ReoptMode,

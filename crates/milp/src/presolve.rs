@@ -73,6 +73,30 @@ impl Presolved {
         self.map.len()
     }
 
+    /// Maps an original-space point into the reduced space, when it is
+    /// consistent with the reductions: every presolve-removed variable must
+    /// sit at its fixed value within `tol`. Returns `None` on a size
+    /// mismatch (e.g. after pricing appended columns) or when the point
+    /// contradicts a fixing — the inverse of [`Presolved::postsolve`] only
+    /// exists for points the reductions kept.
+    pub fn map_to_reduced(&self, x: &[f64], tol: f64) -> Option<Vec<f64>> {
+        if x.len() != self.map.len() {
+            return None;
+        }
+        let mut red = vec![0.0; self.reduced.num_vars()];
+        for (orig, m) in self.map.iter().enumerate() {
+            match m {
+                Some(j) => red[*j] = x[orig],
+                None => {
+                    if (x[orig] - self.fixed_values[orig]).abs() > tol {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(red)
+    }
+
     /// Registers `k` variables appended to the *reduced* problem after
     /// presolve ran (priced-in columns). Each appended variable is also
     /// appended to the original index space, mapped one-to-one onto the last

@@ -198,6 +198,15 @@ pub(crate) fn run_root_pricing(
         };
         stats.pricing_rounds += 1;
         let batch = source.price(&input);
+        // Mid-round cancellation point: a cancel that lands while the
+        // oracle prices must abort here, before the splice + reoptimize.
+        // The fault hook fires scheduled test cancellations at this spot.
+        if let Some(f) = cfg.faults.as_ref() {
+            f.mark_pricing_round();
+        }
+        if cfg.is_cancelled() {
+            break;
+        }
         if batch.cols.is_empty() {
             break; // no improving column: optimal over the full set
         }

@@ -331,6 +331,28 @@ mod pricing_rollback {
     }
 
     #[test]
+    fn cancellation_mid_pricing_round_aborts_within_one_round() {
+        // The cancel lands *inside* round 1 (after the oracle call, before
+        // the splice): the loop must stop there — no column enters, and
+        // round 2 never runs even though the source has more batches.
+        let p = cover_problem();
+        let mut src = Scripted {
+            batches: vec![covering_col(1.0, "x3"), covering_col(0.5, "x4")],
+        };
+        let token = CancelToken::new();
+        let faults =
+            FaultInjection::seeded(23).cancel_in_pricing_round(1, token.clone());
+        let sol = Solver::new(Config::default().with_faults(faults).with_cancel(token))
+            .solve_with_columns(&p, &mut src);
+        assert_eq!(sol.stats().pricing_rounds, 1, "must abort within round 1");
+        assert_eq!(sol.stats().cols_priced, 0, "the cancelled round splices nothing");
+        assert!(
+            !src.batches.is_empty(),
+            "round 2 must never consult the source"
+        );
+    }
+
+    #[test]
     fn round_two_failure_retains_round_one_columns() {
         let p = cover_problem();
         let mut src = Scripted {
@@ -350,6 +372,85 @@ mod pricing_rollback {
         assert_eq!(sol.stats().cols_priced, 1);
         assert_eq!(sol.values().len(), 3);
     }
+}
+
+#[test]
+fn cancellation_mid_cut_round_aborts_within_one_round() {
+    // Cover cuts fire on hard_knapsack, and the default config runs up to
+    // four root rounds. A cancel landing inside round 1 — after separation,
+    // before the append + reoptimize — must stop the loop right there: one
+    // round counted, zero cuts applied, and the search winds down with a
+    // limit status instead of running the remaining rounds.
+    let p = hard_knapsack(18);
+    let token = CancelToken::new();
+    let faults = FaultInjection::seeded(29).cancel_in_cut_round(1, token.clone());
+    let sol = solve_with(&p, Config::default().with_faults(faults).with_cancel(token));
+    assert_eq!(sol.stats().cut_rounds, 1, "must abort within round 1");
+    assert_eq!(sol.stats().cuts_applied, 0, "the cancelled round appends nothing");
+    assert!(
+        matches!(sol.status(), Status::LimitFeasible | Status::LimitNoSolution),
+        "cancellation must yield a limit status, got {:?}",
+        sol.status()
+    );
+}
+
+#[test]
+fn warm_start_seeds_incumbent_and_matches_cold_optimum() {
+    let p = hard_knapsack(18);
+    let clean = solve_with(&p, Config::default());
+    assert_eq!(clean.status(), Status::Optimal);
+
+    let cfg = Config::default().with_warm_start(clean.values().to_vec());
+    let sol = solve_with(&p, cfg);
+    assert!(sol.stats().warm_seeded, "a feasible previous optimum must seed");
+    assert_eq!(sol.status(), Status::Optimal);
+    assert!((sol.objective() - clean.objective()).abs() < 1e-6);
+    assert!(p.check_feasible(sol.values(), 1e-6).is_none());
+}
+
+#[test]
+fn warm_start_is_returned_when_the_search_expires_immediately() {
+    // Simulated expiry before any node: the only incumbent available at
+    // wind-down (heuristics aside) is the seeded warm point, so the solve
+    // must come back with a solution at least as good as the seed.
+    let p = hard_knapsack(18);
+    let clean = solve_with(&p, no_cuts());
+    let faults = FaultInjection::seeded(31).expire_after_nodes(0);
+    let mut cfg = no_cuts()
+        .with_faults(faults)
+        .with_warm_start(clean.values().to_vec());
+    cfg.heuristics = false;
+    let sol = solve_with(&p, cfg);
+    assert!(sol.stats().warm_seeded);
+    assert!(
+        sol.status().has_solution(),
+        "the warm incumbent must survive the expiry"
+    );
+    // Maximize sense: the returned incumbent can only match or beat the seed.
+    assert!(sol.objective() >= clean.objective() - 1e-6);
+}
+
+#[test]
+fn stale_warm_start_is_ignored_not_trusted() {
+    // An all-ones point violates the knapsack capacity: the hint must be
+    // dropped after re-validation and the solve must still reach the true
+    // optimum cold.
+    let p = hard_knapsack(18);
+    let clean = solve_with(&p, Config::default());
+    let bad = vec![1.0; 18];
+    assert!(p.check_feasible(&bad, 1e-6).is_some(), "test premise: infeasible");
+    let sol = solve_with(&p, Config::default().with_warm_start(bad));
+    assert!(!sol.stats().warm_seeded, "an infeasible hint must not seed");
+    assert_eq!(sol.status(), Status::Optimal);
+    assert!((sol.objective() - clean.objective()).abs() < 1e-6);
+}
+
+#[test]
+fn warm_start_wrong_length_is_ignored() {
+    let p = hard_knapsack(12);
+    let sol = solve_with(&p, Config::default().with_warm_start(vec![0.0; 5]));
+    assert!(!sol.stats().warm_seeded);
+    assert_eq!(sol.status(), Status::Optimal);
 }
 
 mod determinism {

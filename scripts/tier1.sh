@@ -22,6 +22,11 @@
 #      mid-search, resumed from its frame, and must deliver a verified
 #      design that matches or beats the uninterrupted reference when
 #      both prove optimality
+#   9. service smoke: a short request storm against the design-session
+#      service with seeded clients, injected mid-request cancellations,
+#      a simulated worker death, and one poisoned delta — the binary
+#      itself exits non-zero on any panic, any missed deadline without a
+#      degraded/shed outcome, or served p99 over the deadline budget
 #
 # Run from the repository root:  ./scripts/tier1.sh
 set -euo pipefail
@@ -214,5 +219,20 @@ elif [ "$(status_rank "$res_status")" -lt "$(status_rank "$ref_status")" ]; then
     echo "tier1: durability smoke WARNING — resumed status $res_status vs reference $ref_status within the smoke budget" >&2
 fi
 echo "tier1: durability smoke OK (resumed $res_status obj ${res_obj:-none} vs reference $ref_status obj ${ref_obj:-none})"
+
+echo "== tier1: service smoke (fault-injected request storm) =="
+# 24 seeded clients x 3 rounds of typed spec deltas against the
+# design-session service, with two injected mid-request cancellations,
+# one simulated worker death (session rebuilt from snapshot), and one
+# poisoned delta. The storm binary does its own gating and exits
+# non-zero on any panic, any request served past its deadline without a
+# degraded/shed outcome, a served p99 over the deadline budget, or a
+# fault that failed to land (see crates/bench/src/bin/storm.rs).
+cargo build --release -q -p bench --bin storm
+if ! STORM_MODE=smoke STORM_JSON= ./target/release/storm; then
+    echo "tier1: service smoke FAILED" >&2
+    exit 1
+fi
+echo "tier1: service smoke OK"
 
 echo "tier1: OK"
