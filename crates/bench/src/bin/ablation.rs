@@ -43,7 +43,7 @@ fn main() {
         ),
         (
             "heuristics off",
-            Box::new(|o: &mut ExploreOptions| o.solver.heuristics = false),
+            Box::new(|o: &mut ExploreOptions| o.solver.heuristics = milp::HeurConfig::off()),
         ),
         (
             "presolve off",

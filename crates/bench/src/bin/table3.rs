@@ -33,7 +33,12 @@
 //! full-encoding solve on row 1 — used by the tier-1 perf smoke),
 //! `T3_CUTS=0` (skip the cuts-on/cuts-off ablation on the [50/20] row),
 //! `T3_PRICING=0` (skip the pricing-on/pricing-off ablation on the same
-//! row).
+//! row), `T3_HEUR=0` (skip the heur_on/heur_off anytime ablation),
+//! `T3_HEUR_TL` (solve limit for that ablation, default `T3_TL` — the
+//! tier-1 heuristic smoke sets 10 s),
+//! `T3_FORCE_SCALING=1` (run scaling rungs even past the host's core
+//! count — by default oversubscribed thread counts are skipped because
+//! they measure time-slicing, not parallel speedup).
 
 use archex::encode::EncodeMode;
 use archex::explore::{encode_only, explore, full_encoding_size_estimate, ExploreOutcome};
@@ -92,6 +97,10 @@ fn record(
         checkpoint_s: out.stats.checkpoint_time.as_secs_f64(),
         checkpoints_written: out.stats.checkpoints_written,
         resumed: out.stats.resumed,
+        time_to_first_incumbent_s: out.stats.time_to_first_incumbent.map(|d| d.as_secs_f64()),
+        time_to_within_1pct_s: out.stats.time_to_within_1pct.map(|d| d.as_secs_f64()),
+        lns_iters: out.stats.lns_iters,
+        lns_published: out.stats.lns_published,
     }
 }
 
@@ -352,6 +361,57 @@ fn main() {
         }
     }
 
+    // --- Anytime-heuristics ablation on the [50 / 20] row ---
+    // Same workload with the LNS + tabu primal engine off and on; the
+    // headline metric is time_to_within_1pct_s (how fast the incumbent
+    // lands within 1% of the final objective), which the engine is meant
+    // to cut by >= 3x while leaving the final objective untouched.
+    // tier1.sh asserts heur_on never degrades the final status.
+    // `T3_HEUR=0` skips the ablation.
+    if env_usize("T3_HEUR", 1) != 0 {
+        let (total, end) = (50, 20);
+        let w = data_collection_workload(total, end, "cost");
+        let heur_tl = env_time_limit("T3_HEUR_TL", tl.as_secs());
+        println!("\nAnytime-heuristics ablation on [{} / {}]:", total, end);
+        for (kind, heur) in [
+            ("heur_off", milp::HeurConfig::off()),
+            ("heur_on", milp::HeurConfig::default()),
+        ] {
+            let mut opts = ExploreOptions::approx(10);
+            opts.solver.time_limit = Some(heur_tl);
+            opts.solver.rel_gap = 0.005;
+            opts.solver.heuristics = heur;
+            let out = explore(&w.template, &w.library, &w.requirements, &opts).expect("explores");
+            if let Some(d) = &out.design {
+                let viol = archex::design::verify_design(d, &w.template, &w.library, &w.requirements);
+                assert!(
+                    viol.is_empty(),
+                    "{} produced an infeasible design: {:?}",
+                    kind,
+                    viol
+                );
+            }
+            println!(
+                "  {:<8}: {:>7.2} s total, 1st incumbent {:?}, within 1% {:?}, {} LNS iters ({} published), obj {:?}",
+                kind,
+                out.stats.solve_time.as_secs_f64(),
+                out.stats.time_to_first_incumbent,
+                out.stats.time_to_within_1pct,
+                out.stats.lns_iters,
+                out.stats.lns_published,
+                out.design.as_ref().map(|d| d.objective),
+            );
+            records.push(record(
+                kind,
+                (total, end),
+                &opts,
+                &out,
+                out.stats.encode_time.as_secs_f64(),
+                out.stats.num_cons,
+            ));
+        }
+    }
+
     // --- Thread-scaling sweep on the largest selected workload ---
     // Prefers the paper's 250/100 instance when it was among the selected
     // rows. `T3_THREADS=` (empty) skips the sweep.
@@ -364,8 +424,19 @@ fn main() {
         if !thread_counts.is_empty() {
             println!("\nThread scaling on [{} / {}]:", total, end);
             let w = data_collection_workload(total, end, "cost");
+            let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let force = env_usize("T3_FORCE_SCALING", 0) != 0;
             let mut base_wall: Option<f64> = None;
             for &t in &thread_counts {
+                // Oversubscribed rungs measure the OS scheduler, not the
+                // solver; skip them unless explicitly forced.
+                if t > host && !force {
+                    println!(
+                        "  threads {:>2}: skipped (host has {} cores; set T3_FORCE_SCALING=1 to run)",
+                        t, host
+                    );
+                    continue;
+                }
                 let mut opts = ExploreOptions::approx(10);
                 opts.solver.time_limit = Some(tl);
                 opts.solver.rel_gap = 0.005;

@@ -64,6 +64,16 @@ pub struct SolverRecord {
     /// True when the run continued from a checkpoint frame instead of
     /// starting cold.
     pub resumed: bool,
+    /// Seconds from solve start to the first feasible incumbent; `null`
+    /// when the run never held one.
+    pub time_to_first_incumbent_s: Option<f64>,
+    /// Seconds until the incumbent first came within 1% of the final
+    /// objective — the anytime headline metric; `null` when no incumbent.
+    pub time_to_within_1pct_s: Option<f64>,
+    /// Destroy/repair iterations run by the LNS + tabu primal engine.
+    pub lns_iters: usize,
+    /// LNS improvements accepted by the shared incumbent.
+    pub lns_published: usize,
 }
 
 fn json_f64(v: f64) -> String {
@@ -85,7 +95,9 @@ impl SolverRecord {
                 "\"cuts_applied\":{},\"cut_rounds\":{},\"root_gap\":{},",
                 "\"cols_priced\":{},\"pricing_rounds\":{},\"pricing_s\":{},",
                 "\"oversubscribed\":{},\"checkpoint_s\":{},",
-                "\"checkpoints_written\":{},\"resumed\":{}}}"
+                "\"checkpoints_written\":{},\"resumed\":{},",
+                "\"time_to_first_incumbent_s\":{},\"time_to_within_1pct_s\":{},",
+                "\"lns_iters\":{},\"lns_published\":{}}}"
             ),
             self.kind,
             self.total,
@@ -110,6 +122,12 @@ impl SolverRecord {
             json_f64(self.checkpoint_s),
             self.checkpoints_written,
             self.resumed,
+            self.time_to_first_incumbent_s
+                .map_or("null".to_string(), json_f64),
+            self.time_to_within_1pct_s
+                .map_or("null".to_string(), json_f64),
+            self.lns_iters,
+            self.lns_published,
         )
     }
 }
@@ -377,6 +395,10 @@ mod tests {
             checkpoint_s: 0.025,
             checkpoints_written: 3,
             resumed: true,
+            time_to_first_incumbent_s: Some(0.04),
+            time_to_within_1pct_s: None,
+            lns_iters: 12,
+            lns_published: 5,
         };
         let s = r.to_json();
         assert!(s.starts_with('{') && s.ends_with('}'));
@@ -394,6 +416,10 @@ mod tests {
         assert!(s.contains("\"checkpoint_s\":0.025000"));
         assert!(s.contains("\"checkpoints_written\":3"));
         assert!(s.contains("\"resumed\":true"));
+        assert!(s.contains("\"time_to_first_incumbent_s\":0.040000"));
+        assert!(s.contains("\"time_to_within_1pct_s\":null"));
+        assert!(s.contains("\"lns_iters\":12"));
+        assert!(s.contains("\"lns_published\":5"));
         let r2 = SolverRecord {
             objective: None,
             ..r

@@ -168,6 +168,16 @@ pub struct ExploreStats {
     pub resumed: bool,
     /// Stalled-search detections by the watchdog thread.
     pub stalls_detected: usize,
+    /// Wall-clock time to the first feasible incumbent (any source:
+    /// warm seed, heuristic, or node LP); `None` when none was found.
+    pub time_to_first_incumbent: Option<Duration>,
+    /// Wall-clock time until the incumbent first came within 1% of the
+    /// final objective — the anytime headline metric.
+    pub time_to_within_1pct: Option<Duration>,
+    /// Destroy/repair iterations run by the LNS + tabu primal engine.
+    pub lns_iters: usize,
+    /// LNS improvements accepted by the shared incumbent.
+    pub lns_published: usize,
 }
 
 /// The result of one exploration run.
@@ -271,6 +281,10 @@ pub fn explore(
     stats.checkpoints_written = sol.stats().checkpoints_written;
     stats.resumed = sol.stats().resumed;
     stats.stalls_detected = sol.stats().stalls_detected;
+    stats.time_to_first_incumbent = sol.stats().time_to_first_incumbent;
+    stats.time_to_within_1pct = sol.stats().time_to_within_1pct;
+    stats.lns_iters = sol.stats().lns_iters;
+    stats.lns_published = sol.stats().lns_published;
     stats.gap = sol.gap();
     let design = if sol.has_solution() {
         Some(extract_design(&enc, &sol, template, library, req))

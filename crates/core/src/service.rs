@@ -728,6 +728,44 @@ mod tests {
     }
 
     #[test]
+    fn rung3_returns_anytime_incumbent_on_expired_deadline() {
+        // Deadline already burned and no prior incumbent: rungs 1–2 are
+        // skipped and rung 3 runs a budget-capped cold ladder. The anytime
+        // primal engine (dives + LNS) is what makes this reliable — the
+        // rung must come back with the best heuristic design found within
+        // the budget (LimitFeasible is fine), never empty-handed.
+        let svc = DesignService::start(
+            ServiceConfig {
+                degraded_budget: Duration::from_millis(100),
+                ..Default::default()
+            },
+            seed(10),
+            ServiceFaults::new(),
+        );
+        let out = svc
+            .submit(Request {
+                session: 11,
+                deltas: vec![],
+                deadline: Some(Duration::ZERO),
+            })
+            .wait();
+        match &out {
+            Outcome::Degraded(i) => {
+                assert_eq!(i.rung, 3);
+                assert!(
+                    i.objective.is_some(),
+                    "rung 3 must answer with a design objective"
+                );
+                if let Some(s) = i.status {
+                    assert!(s.has_solution(), "rung-3 status must carry a design: {s:?}");
+                }
+            }
+            other => panic!("expected a degraded rung-3 answer, got {:?}", other),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
     fn overload_sheds_instead_of_queueing_unbounded() {
         let svc = DesignService::start(
             ServiceConfig {

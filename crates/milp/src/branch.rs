@@ -157,6 +157,9 @@ struct SearchCtx<'a> {
     /// cadence claims, the frame hand-off slot, the write-time debit, and
     /// the stall watchdog's abort flag.
     ckpt: Option<&'a CkptRuntime>,
+    /// Shared incumbent: tree workers, dives, and the LNS engine all
+    /// publish through (and prune against) this one state.
+    inc: &'a Incumbent,
 }
 
 // The context crosses scoped-thread boundaries; keep that statically true.
@@ -172,10 +175,71 @@ impl SearchCtx<'_> {
     }
 }
 
-/// What a tree search hands back to the wrap-up code.
+/// Shared incumbent state: the objective as atomic f64 bits for lock-free
+/// pruning, the full vector behind a mutex, and a timestamped publication
+/// trace for the anytime metrics. One instance is shared by the tree search
+/// (sequential or parallel), the dive heuristics, and the LNS + tabu engine,
+/// so an improvement from any of them immediately tightens every worker's
+/// pruning bound.
+pub(crate) struct Incumbent {
+    /// Incumbent objective as f64 bits (∞ = none), internal minimize sense.
+    bound: AtomicU64,
+    /// Incumbent vector; `bound` is only written while holding this.
+    full: Mutex<Option<(f64, Vec<f64>)>>,
+    /// `(seconds since solve start, internal objective)` per accepted
+    /// improvement, in publication order (objectives strictly decrease).
+    trace: Mutex<Vec<(f64, f64)>>,
+    /// Solve start: the zero point of the trace timestamps.
+    start: Instant,
+}
+
+impl Incumbent {
+    pub(crate) fn new(start: Instant) -> Self {
+        Incumbent {
+            bound: AtomicU64::new(INF_BITS),
+            full: Mutex::new(None),
+            trace: Mutex::new(Vec::new()),
+            start,
+        }
+    }
+
+    /// The incumbent objective (∞ when none), for lock-free pruning.
+    pub(crate) fn bound(&self) -> f64 {
+        f64::from_bits(self.bound.load(AtomicOrdering::SeqCst))
+    }
+
+    /// Installs `(obj, x)` as the incumbent if it improves; returns whether
+    /// it did. Callers are responsible for only offering feasible points.
+    pub(crate) fn offer(&self, obj: f64, x: Vec<f64>) -> bool {
+        let mut guard = relock(&self.full);
+        let improves = guard.as_ref().is_none_or(|(o, _)| obj < *o);
+        if improves {
+            *guard = Some((obj, x));
+            self.bound.store(obj.to_bits(), AtomicOrdering::SeqCst);
+            relock(&self.trace).push((self.start.elapsed().as_secs_f64(), obj));
+        }
+        improves
+    }
+
+    /// A clone of the current best `(objective, x)`.
+    pub(crate) fn best(&self) -> Option<(f64, Vec<f64>)> {
+        relock(&self.full).clone()
+    }
+
+    /// Consumes the state: the final incumbent plus the publication trace.
+    #[allow(clippy::type_complexity)]
+    fn into_parts(self) -> (Option<(f64, Vec<f64>)>, Vec<(f64, f64)>) {
+        (
+            self.full.into_inner().unwrap_or_else(PoisonError::into_inner),
+            self.trace.into_inner().unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+}
+
+/// What a tree search hands back to the wrap-up code. The incumbent itself
+/// lives in the shared [`Incumbent`] (read by [`wrap_up`] after the search
+/// and the heuristic engine have both stopped).
 struct SearchOutcome {
-    /// Best integral solution, internal minimize sense.
-    incumbent: Option<(f64, Vec<f64>)>,
     /// Smallest bound among still-open nodes (∞ when the tree is exhausted).
     open_bound: f64,
     hit_limit: bool,
@@ -484,7 +548,10 @@ pub fn solve_milp_with(
     let cut_pool = Mutex::new(cut_pool);
 
     // --- Incumbent state (internal minimize sense) ---
-    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    // One shared instance for the whole solve: tree workers, dives, and the
+    // LNS engine publish through it, and its timestamped trace yields the
+    // anytime metrics in `wrap_up`.
+    let inc = Incumbent::new(start);
 
     // A caller-supplied warm-start point (the previous optimum of a nearby
     // problem, in original variable order) seeds the incumbent when it
@@ -501,18 +568,18 @@ pub fn solve_milp_with(
             if let Some(red) = ps.map_to_reduced(warm, cfg.int_tol) {
                 if reduced.check_feasible(&red, cfg.int_tol).is_none() {
                     let obj: f64 = lp.c.iter().zip(&red).map(|(&c, &x)| c * x).sum();
-                    incumbent = Some((obj, red));
-                    stats.warm_seeded = true;
+                    if inc.offer(obj, red) {
+                        stats.warm_seeded = true;
+                    }
                 }
             }
         }
     }
 
     // Root heuristics.
-    if cfg.heuristics && !int_vars.is_empty() {
+    if cfg.heuristics.enabled && !int_vars.is_empty() {
         if let Some((obj, x)) = heur::try_rounding(reduced, &lp, &root.x, cfg.int_tol) {
-            if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
-                incumbent = Some((obj, x));
+            if inc.offer(obj, x) {
                 stats.heuristic_solutions += 1;
             }
         }
@@ -538,8 +605,7 @@ pub fn solve_milp_with(
                 Some(&root.statuses),
                 Some(dd),
             ) {
-                if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
-                    incumbent = Some((obj, x));
+                if inc.offer(obj, x) {
                     stats.heuristic_solutions += 1;
                 }
             }
@@ -551,14 +617,15 @@ pub fn solve_milp_with(
     // nonbasic integer can move in a better solution; pull the opposite
     // bounds in before the tree search ever sees them.
     if cfg.reduced_cost_fixing && !int_vars.is_empty() {
-        if let Some((inc_obj, _)) = &incumbent {
+        let inc_obj = inc.bound();
+        if inc_obj.is_finite() {
             stats.rc_fixed += fix_by_reduced_costs(
                 &mut root_lb,
                 &mut root_ub,
                 &root.dj,
                 &int_vars,
                 root.obj,
-                *inc_obj,
+                inc_obj,
             )
             .len();
         }
@@ -599,6 +666,7 @@ pub fn solve_milp_with(
         cuts_applied_hint: &cuts_applied_hint,
         root_cuts,
         ckpt: ckpt_rt.as_ref(),
+        inc: &inc,
     };
 
     // --- Search ---
@@ -611,10 +679,36 @@ pub fn solve_milp_with(
     let nthreads = cfg.effective_threads();
     let root_djb = (cfg.reduced_cost_fixing && !int_vars.is_empty())
         .then_some((root.dj.as_slice(), root.obj));
-    let outcome = run_search(&ctx, vec![root_node], incumbent, root_djb, nthreads, &mut stats);
+
+    // --- LNS + tabu primal engine ---
+    // Destroy units come from the encoder's GUB annotations (route
+    // candidate disjunctions, device-placement rows); integer variables
+    // outside every group are chunked so the whole space stays reachable.
+    let lns_in = (cfg.heuristics.enabled && cfg.heuristics.lns && !int_vars.is_empty())
+        .then(|| heur::LnsInput {
+            reduced,
+            lp: &lp,
+            int_vars: &int_vars,
+            base_lb: &root_lb,
+            base_ub: &root_ub,
+            root_x: &root.x,
+            root_warm: Some(&root.statuses),
+            neighborhoods: heur::build_neighborhoods(&cut_ctx.gub_groups, &int_vars),
+            cfg,
+            deadline,
+        });
+    let outcome = run_search_with_lns(
+        &ctx,
+        vec![root_node],
+        root_djb,
+        nthreads,
+        lns_in,
+        &mut stats,
+    );
 
     wrap_up(
         outcome,
+        inc,
         &ps,
         cfg,
         &cut_pool,
@@ -627,6 +721,60 @@ pub fn solve_milp_with(
     )
 }
 
+/// Runs the tree search with the LNS engine riding shotgun: in async mode
+/// (the default) the engine gets its own scoped thread, publish-only
+/// against the shared incumbent, stopped and joined when the exact search
+/// finishes; in [`crate::HeurConfig::sync`] mode it runs to completion
+/// inline *before* the search, which makes the full engine trace
+/// deterministic at any thread count. An engine panic is isolated exactly
+/// like a worker panic: counted, and the exact search result stands.
+fn run_search_with_lns(
+    ctx: &SearchCtx<'_>,
+    roots: Vec<Node>,
+    root_djb: Option<(&[f64], f64)>,
+    nthreads: usize,
+    lns_in: Option<heur::LnsInput<'_>>,
+    stats: &mut Stats,
+) -> SearchOutcome {
+    let record = |stats: &mut Stats, l: heur::LnsOutcome| {
+        stats.lns_iters += l.iters;
+        stats.lns_published += l.published;
+        stats.heuristic_solutions += l.published;
+        let user = |o: f64| ctx.sign * o + ctx.obj_offset;
+        stats.lns_trace = l.trace.iter().map(|&o| user(o)).collect();
+    };
+    match lns_in {
+        Some(lns) if ctx.cfg.heuristics.sync => {
+            match catch_unwind(AssertUnwindSafe(|| heur::run_lns(&lns, ctx.inc, None))) {
+                Ok(l) => record(stats, l),
+                Err(_) => stats.worker_panics += 1,
+            }
+            run_search(ctx, roots, root_djb, nthreads, stats)
+        }
+        Some(lns) => {
+            let lns_stop = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let engine = s.spawn(|| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        heur::run_lns(&lns, ctx.inc, Some(&lns_stop))
+                    }))
+                });
+                let outcome = run_search(ctx, roots, root_djb, nthreads, stats);
+                lns_stop.store(true, AtomicOrdering::SeqCst);
+                match engine.join() {
+                    Ok(Ok(l)) => record(stats, l),
+                    // Engine panicked (injected or real): the exact search
+                    // result stands — the engine only ever publishes, so
+                    // losing it costs speed, never correctness.
+                    _ => stats.worker_panics += 1,
+                }
+                outcome
+            })
+        }
+        None => run_search(ctx, roots, root_djb, nthreads, stats),
+    }
+}
+
 /// Dispatches the tree search, wrapping it with the checkpoint watchdog
 /// thread when durable solves are configured. The watchdog runs for the
 /// whole search and flushes any pending frame on shutdown, so even a
@@ -634,19 +782,18 @@ pub fn solve_milp_with(
 fn run_search(
     ctx: &SearchCtx<'_>,
     roots: Vec<Node>,
-    incumbent: Option<(f64, Vec<f64>)>,
     root_djb: Option<(&[f64], f64)>,
     nthreads: usize,
     stats: &mut Stats,
 ) -> SearchOutcome {
     let run = move |stats: &mut Stats| {
         if nthreads <= 1 || ctx.int_vars.is_empty() {
-            search_sequential(ctx, roots, incumbent, root_djb, stats)
+            search_sequential(ctx, roots, root_djb, stats)
         } else {
             // Parallel workers reconstruct bounds from the (already
             // root-fixed) context; incumbent-time refixing is
             // sequential-only.
-            search_parallel(ctx, nthreads, roots, incumbent, stats)
+            search_parallel(ctx, nthreads, roots, stats)
         }
     };
     match ctx.ckpt {
@@ -667,6 +814,7 @@ fn run_search(
 #[allow(clippy::too_many_arguments)]
 fn wrap_up(
     outcome: SearchOutcome,
+    inc: Incumbent,
     ps: &Presolved,
     cfg: &Config,
     cut_pool: &Mutex<cuts::CutPool>,
@@ -690,6 +838,22 @@ fn wrap_up(
     }
     stats.elapsed = start.elapsed();
     let user_obj = |internal: f64| sign * internal + obj_offset;
+    // Anytime metrics from the incumbent trace: when the first feasible
+    // point landed, and when the incumbent first came within 1% of the
+    // final objective (in user space — the headline number of the LNS
+    // engine and the `heur_on`/`heur_off` ablation).
+    let (incumbent, trace) = inc.into_parts();
+    if let Some(&(t, _)) = trace.first() {
+        stats.time_to_first_incumbent = Some(Duration::from_secs_f64(t));
+    }
+    if let Some((obj, _)) = &incumbent {
+        let fin = user_obj(*obj);
+        let tol = 0.01 * fin.abs().max(1e-10);
+        stats.time_to_within_1pct = trace
+            .iter()
+            .find(|&&(_, o)| (user_obj(o) - fin).abs() <= tol)
+            .map(|&(t, _)| Duration::from_secs_f64(t));
+    }
     if outcome.unbounded {
         return Solution::unbounded(stats);
     }
@@ -697,7 +861,7 @@ fn wrap_up(
     // proven bound, and their loss forbids an optimality claim.
     let open_bound = outcome.open_bound.min(outcome.dropped_bound);
     let hit_limit = outcome.hit_limit || outcome.dropped_bound.is_finite();
-    match outcome.incumbent {
+    match incumbent {
         Some((obj, x)) => {
             let values = ps.postsolve(&x);
             stats.root_gap = ((obj - root_cut_bound) / obj.abs().max(1e-10)).max(0.0);
@@ -789,14 +953,17 @@ fn snapshot_frame(
     ctx: &SearchCtx<'_>,
     rt: &CkptRuntime,
     nodes_done: usize,
-    incumbent: Option<&(f64, Vec<f64>)>,
     base_lb: &[f64],
     base_ub: &[f64],
     open_nodes: Vec<FrameNode>,
 ) -> SearchFrame {
     let mut frame = rt.base_frame();
     frame.nodes_done = nodes_done;
-    frame.incumbent = incumbent.cloned();
+    // Read the shared incumbent *after* the open set was collected: every
+    // pruning decision reflected in that set used an incumbent at least as
+    // old as this one, so the frame never pairs a pruned-down tree with a
+    // weaker incumbent. LNS publications land here automatically.
+    frame.incumbent = ctx.inc.best();
     frame.base_lb = base_lb.to_vec();
     frame.base_ub = base_ub.to_vec();
     frame.cuts = relock(ctx.cut_pool).applied().to_vec();
@@ -927,11 +1094,12 @@ pub fn resume_milp_with(
     let root_cut_bound = frame.root_bound;
 
     // --- Incumbent and open nodes ---
-    let mut incumbent = frame.incumbent.clone();
-    if let Some((_, x)) = &incumbent {
+    let inc = Incumbent::new(start);
+    if let Some((obj, x)) = frame.incumbent.clone() {
         if x.len() != lp.num_vars() {
             return Err(FrameError::Mismatch("incumbent length differs"));
         }
+        inc.offer(obj, x);
     }
     if frame
         .open_nodes
@@ -969,11 +1137,10 @@ pub fn resume_milp_with(
     // is whatever the killed run had found by its last snapshot, which can
     // be far from what a fresh root dive reaches in seconds — and the
     // incumbent drives all pruning below. Keep whichever is better.
-    if cfg.heuristics && !int_vars.is_empty() {
+    if cfg.heuristics.enabled && !int_vars.is_empty() {
         if let Some(root) = &root_res {
             if let Some((obj, x)) = heur::try_rounding(reduced, &lp, &root.x, cfg.int_tol) {
-                if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
-                    incumbent = Some((obj, x));
+                if inc.offer(obj, x) {
                     stats.heuristic_solutions += 1;
                 }
             }
@@ -999,8 +1166,7 @@ pub fn resume_milp_with(
                     Some(&root.statuses),
                     Some(dd),
                 ) {
-                    if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
-                        incumbent = Some((obj, x));
+                    if inc.offer(obj, x) {
                         stats.heuristic_solutions += 1;
                     }
                 }
@@ -1047,6 +1213,7 @@ pub fn resume_milp_with(
         cuts_applied_hint: &cuts_applied_hint,
         root_cuts,
         ckpt: ckpt_rt.as_ref(),
+        inc: &inc,
     };
 
     // --- Search ---
@@ -1057,10 +1224,29 @@ pub fn resume_milp_with(
     let root_djb = root_djb_owned
         .as_ref()
         .map(|(dj, obj)| (dj.as_slice(), *obj));
-    let outcome = run_search(&ctx, roots, incumbent, root_djb, nthreads, &mut stats);
+    // The LNS engine rides along on a resumed solve exactly as on a cold
+    // one; it needs the re-solved root point, so a failed root re-solve
+    // just skips it (pruning strength lost, never correctness).
+    let lns_in = (cfg.heuristics.enabled && cfg.heuristics.lns && !int_vars.is_empty())
+        .then_some(())
+        .and(root_res.as_ref())
+        .map(|root| heur::LnsInput {
+            reduced,
+            lp: &lp,
+            int_vars: &int_vars,
+            base_lb: &root_lb,
+            base_ub: &root_ub,
+            root_x: &root.x,
+            root_warm: Some(&root.statuses),
+            neighborhoods: heur::build_neighborhoods(&cut_ctx.gub_groups, &int_vars),
+            cfg,
+            deadline,
+        });
+    let outcome = run_search_with_lns(&ctx, roots, root_djb, nthreads, lns_in, &mut stats);
 
     Ok(wrap_up(
         outcome,
+        inc,
         &ps,
         cfg,
         &cut_pool,
@@ -1130,7 +1316,6 @@ fn sync_cut_lp<'b>(
 fn search_sequential(
     ctx: &SearchCtx<'_>,
     roots: Vec<Node>,
-    mut incumbent: Option<(f64, Vec<f64>)>,
     root_info: Option<(&[f64], f64)>,
     stats: &mut Stats,
 ) -> SearchOutcome {
@@ -1169,8 +1354,10 @@ fn search_sequential(
             (None, Some(h)) => h.0.bound,
             (None, None) => f64::INFINITY,
         };
-        // Gap-based termination.
-        if let Some((inc_obj, _)) = &incumbent {
+        // Gap-based termination (the incumbent may have just improved via
+        // an LNS publication — the same check picks that up immediately).
+        let inc_obj = ctx.inc.bound();
+        if inc_obj.is_finite() {
             let gap = inc_obj - open_bound;
             if gap <= cfg.abs_gap || gap <= cfg.rel_gap * inc_obj.abs().max(1e-10) {
                 break;
@@ -1187,15 +1374,7 @@ fn search_sequential(
                     .map(|h| frame_node(&h.0))
                     .chain(plunge_next.as_ref().map(frame_node))
                     .collect();
-                let frame = snapshot_frame(
-                    ctx,
-                    rt,
-                    stats.nodes,
-                    incumbent.as_ref(),
-                    &base_lb,
-                    &base_ub,
-                    open,
-                );
+                let frame = snapshot_frame(ctx, rt, stats.nodes, &base_lb, &base_ub, open);
                 rt.offer(frame, t0.elapsed());
             }
         }
@@ -1206,11 +1385,9 @@ fn search_sequential(
                 None => break,
             },
         };
-        // Prune against incumbent.
-        if let Some((inc_obj, _)) = &incumbent {
-            if node.bound >= *inc_obj - cfg.abs_gap {
-                continue;
-            }
+        // Prune against the freshest shared incumbent (∞ when none).
+        if node.bound >= ctx.inc.bound() - cfg.abs_gap {
+            continue;
         }
         // Limits (wall-clock, cancellation, injected expiry, stall abort,
         // node count). The popped node goes back to the plunge slot before
@@ -1277,7 +1454,6 @@ fn search_sequential(
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
                 return SearchOutcome {
-                    incumbent: None,
                     open_bound: f64::NEG_INFINITY,
                     hit_limit: false,
                     unbounded: true,
@@ -1292,10 +1468,8 @@ fn search_sequential(
             LpStatus::Optimal => {}
         }
 
-        if let Some((inc_obj, _)) = &incumbent {
-            if r.obj >= *inc_obj - cfg.abs_gap {
-                continue; // bound-dominated
-            }
+        if r.obj >= ctx.inc.bound() - cfg.abs_gap {
+            continue; // bound-dominated
         }
 
         match most_fractional(&r.x, &ctx.lp.c, ctx.int_vars, cfg.int_tol) {
@@ -1306,7 +1480,7 @@ fn search_sequential(
                     x[j] = x[j].round();
                 }
                 let obj = ctx.lp.c.iter().zip(&x).map(|(cc, v)| cc * v).sum::<f64>();
-                if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
+                if ctx.inc.offer(obj, x) {
                     if cfg.verbose {
                         eprintln!(
                             "[milp] node {:>6}: incumbent {:.6} (bound {:.6})",
@@ -1315,7 +1489,6 @@ fn search_sequential(
                             ctx.user_obj(open_bound.min(r.obj))
                         );
                     }
-                    incumbent = Some((obj, x));
                     if let Some((dj, root_bound)) = root_info {
                         stats.rc_fixed += fix_by_reduced_costs(
                             &mut base_lb,
@@ -1360,14 +1533,15 @@ fn search_sequential(
                 // variables are basic (dj = 0), so the branch variable is
                 // never touched.
                 if cfg.reduced_cost_fixing {
-                    if let Some((inc_obj, _)) = &incumbent {
+                    let inc_obj = ctx.inc.bound();
+                    if inc_obj.is_finite() {
                         let fixed = fix_by_reduced_costs(
                             &mut lb_buf,
                             &mut ub_buf,
                             &r.dj,
                             ctx.int_vars,
                             r.obj,
-                            *inc_obj,
+                            inc_obj,
                         );
                         if !fixed.is_empty() {
                             stats.rc_fixed += fixed.len();
@@ -1379,11 +1553,11 @@ fn search_sequential(
                 // Occasional in-tree diving heuristic; dive more eagerly
                 // (and with both strategies) while no incumbent exists, and
                 // back off exponentially while dives keep coming up empty.
-                let dive_period =
-                    if incumbent.is_some() { 64 * dive_backoff } else { 16 };
-                if cfg.heuristics && stats.nodes % dive_period == 1 && stats.nodes > 1 {
+                let have_inc = ctx.inc.bound().is_finite();
+                let dive_period = if have_inc { 64 * dive_backoff } else { 16 };
+                if cfg.heuristics.enabled && stats.nodes % dive_period == 1 && stats.nodes > 1 {
                     let mut improved = false;
-                    let strategies: &[heur::DiveStrategy] = if incumbent.is_some() {
+                    let strategies: &[heur::DiveStrategy] = if have_inc {
                         &[heur::DiveStrategy::NearestInteger]
                     } else {
                         &[
@@ -1406,8 +1580,7 @@ fn search_sequential(
                             Some(&warm),
                             Some(dd),
                         ) {
-                            if incumbent.as_ref().is_none_or(|(o, _)| obj < *o) {
-                                incumbent = Some((obj, x));
+                            if ctx.inc.offer(obj, x) {
                                 stats.heuristic_solutions += 1;
                                 improved = true;
                                 if let Some((dj, root_bound)) = root_info {
@@ -1472,20 +1645,11 @@ fn search_sequential(
                 .map(|h| frame_node(&h.0))
                 .chain(plunge_next.as_ref().map(frame_node))
                 .collect();
-            let frame = snapshot_frame(
-                ctx,
-                rt,
-                stats.nodes,
-                incumbent.as_ref(),
-                &base_lb,
-                &base_ub,
-                open,
-            );
+            let frame = snapshot_frame(ctx, rt, stats.nodes, &base_lb, &base_ub, open);
             rt.offer(frame, t0.elapsed());
         }
     }
     SearchOutcome {
-        incumbent,
         open_bound,
         hit_limit,
         unbounded: false,
@@ -1569,10 +1733,6 @@ struct ParShared {
     /// Per-worker bound of the node being processed (f64 bits; ∞ = idle).
     /// The global open bound is min(heap top, these slots).
     slots: Vec<AtomicU64>,
-    /// Incumbent objective as f64 bits (∞ = none), for lock-free pruning.
-    inc_bound: AtomicU64,
-    /// Incumbent vector; `inc_bound` is only written while holding this.
-    inc_full: Mutex<Option<(f64, Vec<f64>)>>,
     /// All workers drain and exit (gap reached, limit hit, or unbounded).
     stop: AtomicBool,
     hit_limit: AtomicBool,
@@ -1598,21 +1758,6 @@ struct ParShared {
 }
 
 impl ParShared {
-    fn incumbent_bound(&self) -> f64 {
-        f64::from_bits(self.inc_bound.load(AtomicOrdering::SeqCst))
-    }
-
-    /// Installs a new incumbent if it improves; returns whether it did.
-    fn offer_incumbent(&self, obj: f64, x: Vec<f64>) -> bool {
-        let mut guard = relock(&self.inc_full);
-        let improves = guard.as_ref().is_none_or(|(o, _)| obj < *o);
-        if improves {
-            *guard = Some((obj, x));
-            self.inc_bound.store(obj.to_bits(), AtomicOrdering::SeqCst);
-        }
-        improves
-    }
-
     /// Pushes an unprocessed node back (worker exiting mid-node).
     fn park_node(&self, node: Node) {
         relock(&self.heap).push(HeapNode(node));
@@ -1662,17 +1807,12 @@ fn search_parallel(
     ctx: &SearchCtx<'_>,
     nthreads: usize,
     roots: Vec<Node>,
-    incumbent: Option<(f64, Vec<f64>)>,
     stats: &mut Stats,
 ) -> SearchOutcome {
     let shared = ParShared {
         heap: Mutex::new(BinaryHeap::new()),
         active: AtomicUsize::new(0),
         slots: (0..nthreads).map(|_| AtomicU64::new(INF_BITS)).collect(),
-        inc_bound: AtomicU64::new(
-            incumbent.as_ref().map_or(INF_BITS, |(o, _)| o.to_bits()),
-        ),
-        inc_full: Mutex::new(incumbent),
         stop: AtomicBool::new(false),
         hit_limit: AtomicBool::new(false),
         unbounded: AtomicBool::new(false),
@@ -1728,10 +1868,6 @@ fn search_parallel(
         .heap
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
-    let incumbent = shared
-        .inc_full
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner);
 
     // Limit wind-down: every worker parked its node before exiting, so the
     // drained heap is the complete open set — deposit it as the final
@@ -1740,15 +1876,7 @@ fn search_parallel(
         if let Some(rt) = ctx.ckpt {
             let t0 = Instant::now();
             let open: Vec<FrameNode> = heap.iter().map(|h| frame_node(&h.0)).collect();
-            let frame = snapshot_frame(
-                ctx,
-                rt,
-                stats.nodes,
-                incumbent.as_ref(),
-                ctx.root_lb,
-                ctx.root_ub,
-                open,
-            );
+            let frame = snapshot_frame(ctx, rt, stats.nodes, ctx.root_lb, ctx.root_ub, open);
             rt.offer(frame, t0.elapsed());
         }
     }
@@ -1768,13 +1896,12 @@ fn search_parallel(
         // stats.nodes already carries the parallel phase's count; the
         // sequential loop increments (and checks node_limit against) the
         // cumulative total.
-        let mut outcome = search_sequential(ctx, roots, incumbent, None, stats);
+        let mut outcome = search_sequential(ctx, roots, None, stats);
         outcome.dropped_bound = outcome.dropped_bound.min(dropped_bound);
         return outcome;
     }
 
     SearchOutcome {
-        incumbent,
         open_bound: heap.peek().map_or(f64::INFINITY, |h| h.0.bound),
         hit_limit: shared.hit_limit.load(AtomicOrdering::SeqCst),
         unbounded: shared.unbounded.load(AtomicOrdering::SeqCst),
@@ -1808,7 +1935,7 @@ fn pop_next(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) -> Option<Node> 
                 .map(|s| f64::from_bits(s.load(AtomicOrdering::SeqCst)))
                 .fold(f64::INFINITY, f64::min);
             let open_bound = heap_min.min(slot_min);
-            let inc_obj = shared.incumbent_bound();
+            let inc_obj = ctx.inc.bound();
             if inc_obj.is_finite() {
                 let gap = inc_obj - open_bound;
                 if gap <= cfg.abs_gap || gap <= cfg.rel_gap * inc_obj.abs().max(1e-10) {
@@ -1906,16 +2033,10 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                     }
                     open
                 };
-                // Read the incumbent *after* the node set: every pruning
-                // decision reflected in the set used an incumbent at least
-                // as old as this one, so the frame never pairs a
-                // pruned-down tree with a weaker incumbent.
-                let inc = relock(&shared.inc_full).clone();
                 let frame = snapshot_frame(
                     ctx,
                     rt,
                     shared.nodes.load(AtomicOrdering::SeqCst),
-                    inc.as_ref(),
                     ctx.root_lb,
                     ctx.root_ub,
                     open,
@@ -1925,7 +2046,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
         }
 
         // Prune against the freshest incumbent.
-        if node.bound >= shared.incumbent_bound() - cfg.abs_gap {
+        if node.bound >= ctx.inc.bound() - cfg.abs_gap {
             shared.release(id);
             continue;
         }
@@ -2017,7 +2138,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
             }
             LpStatus::Optimal => {}
         }
-        if r.obj >= shared.incumbent_bound() - cfg.abs_gap {
+        if r.obj >= ctx.inc.bound() - cfg.abs_gap {
             shared.release(id);
             continue; // bound-dominated
         }
@@ -2030,7 +2151,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                     x[j] = x[j].round();
                 }
                 let obj = ctx.lp.c.iter().zip(&x).map(|(cc, v)| cc * v).sum::<f64>();
-                if shared.offer_incumbent(obj, x) && cfg.verbose {
+                if ctx.inc.offer(obj, x) && cfg.verbose {
                     eprintln!(
                         "[milp] node {:>6} (worker {}): incumbent {:.6}",
                         node_idx,
@@ -2064,7 +2185,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                 // shared incumbent; a stale (worse) bound only under-fixes,
                 // so the tightening stays valid under races.
                 if cfg.reduced_cost_fixing {
-                    let inc = shared.incumbent_bound();
+                    let inc = ctx.inc.bound();
                     if inc.is_finite() {
                         let fixed = fix_by_reduced_costs(
                             &mut lb_buf,
@@ -2081,12 +2202,12 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                     }
                 }
                 let warm = Arc::new(r.statuses);
-                let have_inc = shared.incumbent_bound().is_finite();
+                let have_inc = ctx.inc.bound().is_finite();
                 // Same adaptive throttle as the sequential search, tracked
                 // per worker: empty dives double the period, a success
                 // resets it.
                 let dive_period = if have_inc { 64 * dive_backoff } else { 16 };
-                if cfg.heuristics && node_idx % dive_period == 1 && node_idx > 1 {
+                if cfg.heuristics.enabled && node_idx % dive_period == 1 && node_idx > 1 {
                     let mut improved = false;
                     let strategies: &[heur::DiveStrategy] = if have_inc {
                         &[heur::DiveStrategy::NearestInteger]
@@ -2111,7 +2232,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &ParShared, id: usize) {
                             Some(&warm),
                             Some(dd),
                         ) {
-                            if shared.offer_incumbent(obj, x) {
+                            if ctx.inc.offer(obj, x) {
                                 shared
                                     .heuristic_solutions
                                     .fetch_add(1, AtomicOrdering::SeqCst);

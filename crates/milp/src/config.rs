@@ -189,6 +189,91 @@ impl ColGenConfig {
     }
 }
 
+/// Primal-heuristic configuration: the classic root rounding/diving passes
+/// plus the anytime large-neighborhood-search (LNS) + tabu engine that rides
+/// shotgun on the branch-and-bound search.
+///
+/// The LNS engine seeds from the root LP relaxation with RINS-style fixing
+/// (integer variables on which the relaxation and the current incumbent
+/// agree stay fixed), then repeatedly *destroys* a neighborhood — one
+/// route's candidate-path disjunction or one node's device placements,
+/// taken from the encoder's GUB annotations — and *repairs* it with a
+/// node-budgeted sub-MILP on the warm-started dual-simplex core. Every
+/// improvement is feasibility-checked against the full row set before it is
+/// published through the shared incumbent, so the engine can only ever help:
+/// workers prune harder, the final optimum is unchanged.
+///
+/// The engine is deterministic given [`Config::seed`]: it never *reads* the
+/// shared incumbent, so its improvement sequence does not depend on thread
+/// scheduling — only how far it gets before the exact search finishes does.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{Config, HeurConfig};
+/// let cfg = Config::default().with_heur(HeurConfig::off());
+/// assert!(!cfg.heuristics.enabled && !cfg.heuristics.lns);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeurConfig {
+    /// Master switch for the rounding/diving passes at the root and the
+    /// in-tree dives.
+    pub enabled: bool,
+    /// Run the LNS + tabu primal engine alongside the tree search.
+    pub lns: bool,
+    /// Node budget for each sub-MILP repair solve.
+    pub lns_node_budget: usize,
+    /// Maximum destroy/repair iterations before the engine retires.
+    pub lns_max_iters: usize,
+    /// Consecutive non-improving iterations before the engine escalates the
+    /// destroy size (1 → 2 → 4 → … neighborhoods freed at once); once the
+    /// escalation ladder is exhausted and another such streak passes, the
+    /// engine retires instead of burning CPU the exact search could use.
+    pub lns_stall: usize,
+    /// Tabu tenure: a destroyed neighborhood is not re-destroyed for this
+    /// many iterations unless it just improved the incumbent (aspiration).
+    pub tabu_tenure: usize,
+    /// Run the engine inline (to completion, before the tree search starts)
+    /// instead of on its own thread. Slower wall-clock but the published
+    /// incumbent trace is bit-identical at any thread count — used by the
+    /// determinism proptests.
+    pub sync: bool,
+}
+
+impl Default for HeurConfig {
+    fn default() -> Self {
+        HeurConfig {
+            enabled: true,
+            lns: true,
+            lns_node_budget: 150,
+            lns_max_iters: 400,
+            lns_stall: 12,
+            tabu_tenure: 3,
+            sync: false,
+        }
+    }
+}
+
+impl HeurConfig {
+    /// A configuration with every primal heuristic disabled (the
+    /// `heur_off` ablation: pure exact search).
+    pub fn off() -> Self {
+        HeurConfig {
+            enabled: false,
+            lns: false,
+            ..Default::default()
+        }
+    }
+
+    /// Rounding/diving only — the pre-LNS behaviour of the solver.
+    pub fn dives_only() -> Self {
+        HeurConfig {
+            lns: false,
+            ..Default::default()
+        }
+    }
+}
+
 /// Durable-solve settings: where and how often the watchdog thread persists
 /// [`crate::checkpoint::SearchFrame`] snapshots, and the optional stall
 /// window after which a worker pool with no node progress gets a clean
@@ -281,8 +366,9 @@ pub struct Config {
     pub reduced_cost_fixing: bool,
     /// Run the presolver before solving.
     pub presolve: bool,
-    /// Run primal rounding/diving heuristics during branch and bound.
-    pub heuristics: bool,
+    /// Primal-heuristic settings: root rounding/diving, in-tree dives, and
+    /// the anytime LNS + tabu engine (all on by default).
+    pub heuristics: HeurConfig,
     /// Print progress lines to stderr.
     pub verbose: bool,
     /// Random seed for tie-breaking perturbations.
@@ -339,7 +425,7 @@ impl Default for Config {
             pricing: PricingRule::default(),
             reduced_cost_fixing: true,
             presolve: true,
-            heuristics: true,
+            heuristics: HeurConfig::default(),
             verbose: false,
             seed: 0x5eed,
             threads: 0,
@@ -383,9 +469,20 @@ impl Config {
         self
     }
 
-    /// Enables or disables primal heuristics.
+    /// Enables or disables all primal heuristics (dives *and* LNS). For
+    /// finer control use [`Config::with_heur`].
     pub fn with_heuristics(mut self, on: bool) -> Self {
-        self.heuristics = on;
+        self.heuristics = if on {
+            HeurConfig::default()
+        } else {
+            HeurConfig::off()
+        };
+        self
+    }
+
+    /// Sets the primal-heuristic configuration.
+    pub fn with_heur(mut self, heur: HeurConfig) -> Self {
+        self.heuristics = heur;
         self
     }
 
@@ -491,8 +588,20 @@ mod tests {
         assert_eq!(cfg.node_limit, Some(10));
         assert_eq!(cfg.rel_gap, 0.01);
         assert!(!cfg.presolve);
-        assert!(!cfg.heuristics);
+        assert!(!cfg.heuristics.enabled && !cfg.heuristics.lns);
         assert!(cfg.verbose);
+    }
+
+    #[test]
+    fn heur_config_defaults_and_off() {
+        let d = Config::default();
+        assert!(d.heuristics.enabled && d.heuristics.lns);
+        assert!(d.heuristics.lns_node_budget >= 1 && d.heuristics.lns_max_iters >= 1);
+        assert!(!d.heuristics.sync, "sync engine is a test-only mode");
+        let off = Config::default().with_heur(HeurConfig::off());
+        assert!(!off.heuristics.enabled && !off.heuristics.lns);
+        let dives = Config::default().with_heur(HeurConfig::dives_only());
+        assert!(dives.heuristics.enabled && !dives.heuristics.lns);
     }
 
     #[test]

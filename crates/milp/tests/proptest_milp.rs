@@ -144,6 +144,52 @@ proptest! {
         }
     }
 
+    /// With the engine in sync mode (run to completion before the tree
+    /// search), the *entire* LNS trace — not just the final objective — is
+    /// a pure function of the seed and the problem: thread count must not
+    /// move a single entry.
+    #[test]
+    fn lns_sync_trace_is_deterministic_across_thread_counts(inst in binary_instance()) {
+        let (p, _) = build(&inst);
+        let solve = |threads: usize| {
+            let mut cfg = Config::default().with_threads(threads);
+            cfg.seed = 0xA11CE;
+            cfg.heuristics.sync = true;
+            Solver::new(cfg).solve(&p)
+        };
+        let base = solve(1);
+        for threads in [2usize, 4] {
+            let sol = solve(threads);
+            prop_assert_eq!(sol.status(), base.status());
+            if base.status() == Status::Optimal {
+                prop_assert!((sol.objective() - base.objective()).abs() < 1e-6,
+                    "threads {}: {} vs single-threaded {}",
+                    threads, sol.objective(), base.objective());
+            }
+            prop_assert_eq!(
+                sol.stats().lns_trace.clone(),
+                base.stats().lns_trace.clone(),
+                "LNS trace must not depend on thread count"
+            );
+        }
+    }
+
+    /// Every incumbent the solver returns with the LNS engine on is
+    /// actually feasible — heuristic publications go through the same
+    /// verification gate as node incumbents.
+    #[test]
+    fn lns_incumbents_are_always_feasible(inst in binary_instance()) {
+        let (p, _) = build(&inst);
+        let mut cfg = Config::default();
+        cfg.heuristics.sync = true;
+        cfg.node_limit = Some(1); // starve the exact search; heuristics carry
+        let sol = Solver::new(cfg).solve(&p);
+        if sol.status().has_solution() {
+            prop_assert!(p.check_feasible(sol.values(), 1e-5).is_none(),
+                "published incumbent violates the problem");
+        }
+    }
+
     #[test]
     fn thread_count_does_not_change_the_optimum(inst in binary_instance()) {
         let (p, _) = build(&inst);

@@ -18,11 +18,16 @@
 #   7. checkpoint smoke: the [50/20] ckpt_on run must write frames, and
 #      its wall-time overhead vs ckpt_off only warns past 5% (wall time
 #      swings ~2x run-to-run on this row)
-#   8. durability smoke: a checkpointed [50/20] solve is SIGKILLed
+#   8. heuristic smoke: the [50/20] heur_on run gets a 10 s budget and
+#      must still deliver a verified feasible design through the LNS +
+#      tabu primal engine (LimitFeasible is fine; the engine exists
+#      precisely so a truncated run has something good to return), and
+#      enabling the engine must not degrade the final status vs heur_off
+#   9. durability smoke: a checkpointed [50/20] solve is SIGKILLed
 #      mid-search, resumed from its frame, and must deliver a verified
 #      design that matches or beats the uninterrupted reference when
 #      both prove optimality
-#   9. service smoke: a short request storm against the design-session
+#  10. service smoke: a short request storm against the design-session
 #      service with seeded clients, injected mid-request cancellations,
 #      a simulated worker death, and one poisoned delta — the binary
 #      itself exits non-zero on any panic, any missed deadline without a
@@ -56,7 +61,7 @@ echo "== tier1: perf smoke (table3 [50/20] row, 30 s budget) =="
 # "Parallel solving"), so non-Optimal only warns.
 T3_SMOKE_JSON="$(mktemp)"
 trap 'rm -f "$T3_SMOKE_JSON"' EXIT
-T3_SKIP_FULL=1 T3_ROWS=1 T3_TL=30 T3_THREADS= T3_JSON="$T3_SMOKE_JSON" \
+T3_SKIP_FULL=1 T3_ROWS=1 T3_TL=30 T3_HEUR_TL=10 T3_THREADS= T3_JSON="$T3_SMOKE_JSON" \
     cargo run --release -q -p bench --bin table3
 if ! grep -Eq '"kind":"row".*"status":"(Optimal|LimitFeasible)","objective":[0-9]' \
     "$T3_SMOKE_JSON"; then
@@ -167,6 +172,31 @@ if ! awk -v on="$ckon_wall" -v off="$ckoff_wall" 'BEGIN { exit !(on <= off * 1.0
     echo "tier1: checkpoint smoke WARNING — ckpt_on wall $ckon_wall s vs ckpt_off $ckoff_wall s (> 5% overhead)" >&2
 fi
 echo "tier1: checkpoint smoke OK ($frames frames written, $ckon_status vs $ckoff_status)"
+
+echo "== tier1: heuristic smoke ([50/20] row, LNS engine under a 10 s budget) =="
+# The table3 run also emits the anytime-heuristics ablation records,
+# solved under T3_HEUR_TL=10 — far too little for this row's optimality
+# proof, which is the point: the LNS + tabu engine must still hand back
+# a verified feasible design (table3 aborts on any design that fails
+# independent re-verification, so an objective in the record *is* a
+# verified design), and turning the engine on must never degrade the
+# final status vs heur_off.
+heur_on_rec="$(grep -o '"kind":"heur_on"[^}]*' "$T3_SMOKE_JSON")"
+heur_off_rec="$(grep -o '"kind":"heur_off"[^}]*' "$T3_SMOKE_JSON")"
+hon_status="$(echo "$heur_on_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+hoff_status="$(echo "$heur_off_rec" | sed -n 's/.*"status":"\([A-Za-z]*\)".*/\1/p')"
+hon_obj="$(echo "$heur_on_rec" | sed -n 's/.*"objective":\([0-9.eE+-]*\).*/\1/p')"
+hon_1pct="$(echo "$heur_on_rec" | sed -n 's/.*"time_to_within_1pct_s":\([0-9.eE+-]*\).*/\1/p')"
+if [ -z "${hon_obj:-}" ]; then
+    echo "tier1: heuristic smoke FAILED — heur_on found no feasible design in 10 s (status $hon_status):" >&2
+    echo "$heur_on_rec" >&2
+    exit 1
+fi
+if [ "$(status_rank "$hon_status")" -lt "$(status_rank "$hoff_status")" ]; then
+    echo "tier1: heuristic smoke FAILED — heur_on status $hon_status worse than heur_off $hoff_status" >&2
+    exit 1
+fi
+echo "tier1: heuristic smoke OK (heur_on $hon_status obj $hon_obj, within-1% ${hon_1pct:-n/a} s, vs heur_off $hoff_status)"
 
 echo "== tier1: durability smoke (SIGKILL mid-search, resume from frame) =="
 # A checkpointed [50/20] solve is killed hard a few seconds in — exactly
