@@ -105,27 +105,18 @@ fn record(
 }
 
 fn main() {
-    let paper_rows: Vec<(usize, usize)> = vec![
-        (50, 20),
-        (100, 20),
-        (100, 50),
-        (100, 75),
-        (250, 50),
-        (250, 100),
-        (250, 200),
-        (500, 50),
-        (500, 100),
-        (500, 200),
-    ];
-    let laptop_rows: Vec<(usize, usize)> = vec![
-        (50, 20),
-        (100, 20),
-        (100, 50),
-        (100, 75),
-        (250, 50),
-        (250, 100),
-    ];
-    let rows = if paper_scale() { paper_rows } else { laptop_rows };
+    // Instance sizes come from the shared workload registry so Table 3 rows
+    // and the city-scale bench agree on one source of truth.
+    let rows: Vec<(usize, usize)> = bench::table3_registry(paper_scale())
+        .into_iter()
+        .filter_map(|w| match w.kind {
+            bench::WorkloadKind::Table3 {
+                total_nodes,
+                end_devices,
+            } => Some((total_nodes, end_devices)),
+            _ => None,
+        })
+        .collect();
     let max_rows = env_usize("T3_ROWS", rows.len());
     let tl = env_time_limit("T3_TL", 240);
     let full_tl = env_time_limit("T3_FULL_TL", 300);

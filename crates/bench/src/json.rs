@@ -342,6 +342,109 @@ pub fn write_service_json(
     Ok(())
 }
 
+/// One city-scale instance worth of measurements (`BENCH_scale.json`):
+/// the decomposed solve, its verification verdict on the full instance,
+/// and the monolithic ablation where attempted.
+#[derive(Debug, Clone)]
+pub struct ScaleRecord {
+    /// Registry name of the instance (`campus-4`, `district-16`, ...).
+    pub name: String,
+    /// Candidate sites (template nodes) in the full instance.
+    pub sites: usize,
+    /// Buildings in the city grid.
+    pub buildings: usize,
+    /// True for the interference-aware generator variant.
+    pub interference: bool,
+    /// Zones the instance was partitioned into.
+    pub zones: usize,
+    /// Inter-zone backhaul links coordinated by the master loop.
+    pub boundary_links: usize,
+    /// Gateway price-update iterations until assignments stabilized.
+    pub price_iters: usize,
+    /// Wall-clock seconds of the full decomposed solve (partition +
+    /// zones + backbone + stitch + verify).
+    pub decomposed_wall_s: f64,
+    /// Objective (total cost) of the stitched design.
+    pub stitched_objective: Option<f64>,
+    /// True when the stitched design passed `verify_design` on the full
+    /// un-partitioned instance.
+    pub verified: bool,
+    /// Violations reported by that verification (0 when `verified`).
+    pub violations: usize,
+    /// Budget handed to the decomposed solve, seconds.
+    pub budget_s: f64,
+    /// Final status of the monolithic ablation; `null` when the monolith
+    /// was not attempted (instance past the size gate).
+    pub monolithic_status: Option<String>,
+    /// Objective of the monolithic design, when one was found.
+    pub monolithic_objective: Option<f64>,
+    /// Wall-clock seconds of the monolithic ablation.
+    pub monolithic_wall_s: Option<f64>,
+    /// Relative objective gap `(stitched - monolithic) / monolithic`,
+    /// when both objectives exist.
+    pub gap: Option<f64>,
+}
+
+impl ScaleRecord {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"sites\":{},\"buildings\":{},",
+                "\"interference\":{},\"zones\":{},\"boundary_links\":{},",
+                "\"price_iters\":{},\"decomposed_wall_s\":{},",
+                "\"stitched_objective\":{},\"verified\":{},\"violations\":{},",
+                "\"budget_s\":{},\"monolithic_status\":{},",
+                "\"monolithic_objective\":{},\"monolithic_wall_s\":{},",
+                "\"gap\":{}}}"
+            ),
+            self.name.replace('"', "'"),
+            self.sites,
+            self.buildings,
+            self.interference,
+            self.zones,
+            self.boundary_links,
+            self.price_iters,
+            json_f64(self.decomposed_wall_s),
+            self.stitched_objective.map_or("null".to_string(), json_f64),
+            self.verified,
+            self.violations,
+            json_f64(self.budget_s),
+            self.monolithic_status
+                .as_ref()
+                .map_or("null".to_string(), |s| format!(
+                    "\"{}\"",
+                    s.replace('"', "'")
+                )),
+            self.monolithic_objective
+                .map_or("null".to_string(), json_f64),
+            self.monolithic_wall_s.map_or("null".to_string(), json_f64),
+            self.gap.map_or("null".to_string(), json_f64),
+        )
+    }
+}
+
+/// Writes the city-scale sweep as `BENCH_scale.json`: one record per
+/// instance, plus the host's parallelism (zone solves run in parallel).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_scale_json(path: &Path, bench: &str, records: &[ScaleRecord]) -> std::io::Result<()> {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"{bench}\",")?;
+    writeln!(f, "  \"host_available_parallelism\": {host},")?;
+    writeln!(f, "  \"records\": [")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(f, "    {}{}", r.to_json(), comma)?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
 /// Writes `records` as `BENCH_solver.json`-style output to `path`. The
 /// document carries the host's available parallelism so speedup numbers
 /// can be judged against the hardware they ran on.
@@ -425,6 +528,45 @@ mod tests {
             ..r
         };
         assert!(r2.to_json().contains("\"objective\":null"));
+    }
+
+    #[test]
+    fn scale_record_renders_nulls_for_skipped_monolith() {
+        let r = ScaleRecord {
+            name: "district-16".to_string(),
+            sites: 1100,
+            buildings: 16,
+            interference: false,
+            zones: 16,
+            boundary_links: 24,
+            price_iters: 2,
+            decomposed_wall_s: 41.5,
+            stitched_objective: Some(1234.0),
+            verified: true,
+            violations: 0,
+            budget_s: 120.0,
+            monolithic_status: None,
+            monolithic_objective: None,
+            monolithic_wall_s: None,
+            gap: None,
+        };
+        let s = r.to_json();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"name\":\"district-16\""));
+        assert!(s.contains("\"stitched_objective\":1234.000000"));
+        assert!(s.contains("\"verified\":true"));
+        assert!(s.contains("\"monolithic_status\":null"));
+        assert!(s.contains("\"gap\":null"));
+        let r2 = ScaleRecord {
+            monolithic_status: Some("Optimal".to_string()),
+            monolithic_objective: Some(1200.0),
+            monolithic_wall_s: Some(88.0),
+            gap: Some(0.0283),
+            ..r
+        };
+        let s2 = r2.to_json();
+        assert!(s2.contains("\"monolithic_status\":\"Optimal\""));
+        assert!(s2.contains("\"gap\":0.028300"));
     }
 
     #[test]

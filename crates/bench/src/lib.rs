@@ -15,5 +15,6 @@ pub mod workloads;
 
 pub use workloads::{
     data_collection_spec, data_collection_workload, localization_spec, localization_workload,
-    DataCollection, Localization,
+    scale_registry, scale_smoke, table3_registry, DataCollection, Localization, WorkloadKind,
+    WorkloadSpec,
 };

@@ -2,6 +2,7 @@
 //! the paper's two design examples at arbitrary scales.
 
 use archex::requirements::Requirements;
+use archex::scale::CityParams;
 use archex::template::NetworkTemplate;
 use channel::{LogDistance, MultiWall};
 use devlib::{catalog, Library};
@@ -34,6 +35,145 @@ pub struct Localization {
     pub library: Library,
     /// Assembled requirements.
     pub requirements: Requirements,
+}
+
+/// What a registered workload builds: a paper Table 3 row or a city-scale
+/// instance for the spatial-decomposition solver.
+#[derive(Debug, Clone)]
+pub enum WorkloadKind {
+    /// Data-collection row at `(total_nodes, end_devices)` on the single
+    /// office floor (the paper's Table 3 axis).
+    Table3 {
+        /// Total template nodes (sensors + relay candidates + sink).
+        total_nodes: usize,
+        /// End devices (sensors) among them.
+        end_devices: usize,
+    },
+    /// Multi-building city instance (see [`archex::scale`]).
+    City {
+        /// Generator parameters.
+        params: CityParams,
+        /// Target buildings per decomposition zone.
+        buildings_per_zone: usize,
+    },
+}
+
+/// A named benchmark workload. Table 3 rows and city-scale instances are
+/// registered here so every binary draws its instance sizes from one place
+/// instead of hardcoding them.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Stable name used in logs and JSON records.
+    pub name: String,
+    /// What to build.
+    pub kind: WorkloadKind,
+}
+
+/// The Table 3 instance ladder. `paper` selects the paper's full ten rows;
+/// otherwise the laptop-friendly prefix that finishes in minutes.
+pub fn table3_registry(paper: bool) -> Vec<WorkloadSpec> {
+    const ROWS: [(usize, usize); 10] = [
+        (50, 20),
+        (100, 20),
+        (100, 50),
+        (100, 75),
+        (250, 50),
+        (250, 100),
+        (250, 200),
+        (500, 50),
+        (500, 100),
+        (500, 200),
+    ];
+    let take = if paper { ROWS.len() } else { 6 };
+    ROWS[..take]
+        .iter()
+        .map(|&(total_nodes, end_devices)| WorkloadSpec {
+            name: format!("dc-{total_nodes}-{end_devices}"),
+            kind: WorkloadKind::Table3 {
+                total_nodes,
+                end_devices,
+            },
+        })
+        .collect()
+}
+
+/// The city-scale sweep: three sizes (the largest past a thousand candidate
+/// sites) plus the interference-aware campus variant.
+pub fn scale_registry() -> Vec<WorkloadSpec> {
+    let campus = CityParams {
+        grid: (2, 2),
+        sensors_per_building: 8,
+        relay_grid: (4, 4),
+        street_m: 24.0,
+        seed: 101,
+        interference: false,
+    };
+    vec![
+        WorkloadSpec {
+            name: "campus-4".into(),
+            kind: WorkloadKind::City {
+                params: campus.clone(),
+                buildings_per_zone: 2,
+            },
+        },
+        WorkloadSpec {
+            name: "campus-4-interf".into(),
+            kind: WorkloadKind::City {
+                params: CityParams {
+                    interference: true,
+                    ..campus
+                },
+                buildings_per_zone: 2,
+            },
+        },
+        WorkloadSpec {
+            name: "district-8".into(),
+            kind: WorkloadKind::City {
+                params: CityParams {
+                    grid: (4, 2),
+                    sensors_per_building: 10,
+                    relay_grid: (6, 5),
+                    street_m: 28.0,
+                    seed: 202,
+                    interference: false,
+                },
+                buildings_per_zone: 2,
+            },
+        },
+        WorkloadSpec {
+            name: "district-16".into(),
+            kind: WorkloadKind::City {
+                params: CityParams {
+                    grid: (4, 4),
+                    sensors_per_building: 12,
+                    relay_grid: (8, 7),
+                    street_m: 28.0,
+                    seed: 303,
+                    interference: false,
+                },
+                buildings_per_zone: 1,
+            },
+        },
+    ]
+}
+
+/// The small campus the tier-1 smoke test solves: four buildings, a few
+/// dozen candidate sites, decomposable in seconds.
+pub fn scale_smoke() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "campus-smoke".into(),
+        kind: WorkloadKind::City {
+            params: CityParams {
+                grid: (2, 2),
+                sensors_per_building: 4,
+                relay_grid: (3, 3),
+                street_m: 24.0,
+                seed: 11,
+                interference: false,
+            },
+            buildings_per_zone: 2,
+        },
+    }
 }
 
 /// The paper's data-collection spec (§4.1): two disjoint routes per sensor,

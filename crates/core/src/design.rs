@@ -184,6 +184,41 @@ pub fn extract_design(
     // Energy + lifetimes from first principles.
     recompute_energy(&mut d, template, library, req);
     // Localization coverage from true RSS.
+    recompute_coverage(&mut d, template, library, req);
+    d
+}
+
+/// Recomputes every derived metric (`total_cost`, energy, lifetimes,
+/// coverage) of a design whose `placed`/`routes`/`edges` were assembled or
+/// edited outside [`extract_design`] — e.g. a stitched decomposed design
+/// whose per-zone metrics are meaningless after component repair. The
+/// `objective` field is left untouched; callers decide what it means.
+pub fn recompute_metrics(
+    d: &mut NetworkDesign,
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+) {
+    d.total_cost = d
+        .placed
+        .iter()
+        .map(|p| library.get(p.component).expect("valid index").cost)
+        .sum();
+    d.total_energy_mas = 0.0;
+    d.lifetimes_years.clear();
+    recompute_energy(d, template, library, req);
+    d.coverage.clear();
+    recompute_coverage(d, template, library, req);
+}
+
+/// Fills `d.coverage` (one count per evaluation point) from true RSS when
+/// the requirements carry a localization floor; no-op otherwise.
+fn recompute_coverage(
+    d: &mut NetworkDesign,
+    template: &NetworkTemplate,
+    library: &Library,
+    req: &Requirements,
+) {
     if let Some((_, rss_floor)) = req.min_reachable {
         for j in 0..template.eval_points().len() {
             let mut count = 0;
@@ -201,7 +236,6 @@ pub fn extract_design(
             d.coverage.push(count);
         }
     }
-    d
 }
 
 fn trace_path(

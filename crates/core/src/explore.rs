@@ -112,6 +112,28 @@ impl ExploreOptions {
         self.resume_from = Some(path.into());
         self
     }
+
+    /// Attaches a cooperative cancel token to the solver — a decomposition
+    /// master loop uses one shared token to abort all in-flight zone solves.
+    pub fn with_cancel(mut self, token: milp::CancelToken) -> Self {
+        self.solver.cancel = Some(token);
+        self
+    }
+
+    /// Caps the solver's internal worker threads. Zone solves that already
+    /// run on one OS thread each should set 1 to avoid oversubscription.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.solver = self.solver.with_threads(n);
+        self
+    }
+
+    /// Sets the solver's RNG seed (branching perturbations, heuristics).
+    /// Per-zone offsets keep parallel zone solves decorrelated yet
+    /// reproducible.
+    pub fn with_solver_seed(mut self, seed: u64) -> Self {
+        self.solver.seed = seed;
+        self
+    }
 }
 
 /// Size and timing statistics of one exploration.

@@ -62,6 +62,7 @@ pub mod pricing;
 pub mod report;
 pub mod requirements;
 pub mod resilience;
+pub mod scale;
 pub mod service;
 pub mod session;
 pub mod spec;
@@ -78,6 +79,10 @@ pub use pricing::PathPricer;
 pub use report::{design_summary, design_to_svg, Table};
 pub use requirements::{Params, Protocol, Requirements};
 pub use resilience::{analyze_resilience, ResilienceReport};
+pub use scale::{
+    generate_city, partition_city, solve_decomposed, solve_monolithic, CityInstance, CityParams,
+    ScaleError, ScaleOptions, ScalePartition, ScaleReport, TrafficProfile,
+};
 pub use service::{
     DesignService, Outcome, Request, ServedInfo, ServiceConfig, ServiceFaults, ServiceMetrics,
 };

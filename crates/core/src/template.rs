@@ -194,6 +194,26 @@ impl NetworkTemplate {
         }
     }
 
+    /// Computes the node-to-node path-loss matrix from a closure over node
+    /// *indices* instead of a single [`PathLossModel`]. City-scale templates
+    /// need this: intra-building links use the building's multi-wall model,
+    /// inter-building backhaul uses an outdoor model, and everything else is
+    /// `INFINITY` — no single model over the merged plan can express that
+    /// (nor afford it at thousands of sites). Eval-point losses are set to
+    /// `INFINITY`; city instances do not use coverage eval points.
+    pub fn compute_path_loss_with(&mut self, mut loss_db: impl FnMut(usize, usize) -> f64) {
+        let n = self.nodes.len();
+        self.pl = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    self.pl[i * n + j] = loss_db(i, j);
+                }
+            }
+        }
+        self.pl_eval = vec![f64::INFINITY; n * self.eval_points.len()];
+    }
+
     /// Adds `delta_db` to the path loss between nodes `i` and `j`, in both
     /// directions — the floorplan changed (a wall went up or came down)
     /// without moving any node. Callers must re-run

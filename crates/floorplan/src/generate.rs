@@ -184,6 +184,39 @@ pub fn data_collection_markers(
     (sensor_pts, sink, relays)
 }
 
+/// Populates one building of a multi-building (campus/district) instance:
+/// `n_sensors` sensor markers spread over the rooms plus a relay-candidate
+/// grid — like [`data_collection_markers`] but with **no sink**, since a
+/// campus has a single sink overall rather than one per building. Returns
+/// `(sensors, relays)` positions (building-local coordinates; compose into
+/// the campus frame with [`FloorPlan::translated`]).
+pub fn building_markers(
+    plan: &mut FloorPlan,
+    n_sensors: usize,
+    relay_grid: (usize, usize),
+) -> (Vec<Point>, Vec<Point>) {
+    let sensor_cols = (n_sensors as f64).sqrt().ceil() as usize;
+    let sensor_rows = n_sensors.div_ceil(sensor_cols.max(1));
+    let sensor_pts: Vec<Point> = position_grid(plan, sensor_cols.max(1), sensor_rows.max(1), 4.0)
+        .into_iter()
+        .take(n_sensors)
+        .collect();
+    for &p in &sensor_pts {
+        plan.add_marker(Marker {
+            position: p,
+            kind: MarkerKind::Sensor,
+        });
+    }
+    let relays = position_grid(plan, relay_grid.0, relay_grid.1, 2.0);
+    for &p in &relays {
+        plan.add_marker(Marker {
+            position: p,
+            kind: MarkerKind::Relay,
+        });
+    }
+    (sensor_pts, relays)
+}
+
 /// Populates `plan` with localization markers: an anchor-candidate grid and
 /// an evaluation-point grid. Returns `(anchors, eval_points)`.
 pub fn localization_markers(
@@ -277,6 +310,17 @@ mod tests {
         assert_eq!(plan.markers_of(MarkerKind::Relay).count(), 100);
         // total node count mirrors the paper's 136-node template
         assert_eq!(plan.markers().len(), 136);
+    }
+
+    #[test]
+    fn building_markers_have_no_sink() {
+        let mut plan = office_floor(&OfficeParams::default());
+        let (sensors, relays) = building_markers(&mut plan, 7, (4, 3));
+        assert_eq!(sensors.len(), 7);
+        assert_eq!(relays.len(), 12);
+        assert_eq!(plan.markers_of(MarkerKind::Sensor).count(), 7);
+        assert_eq!(plan.markers_of(MarkerKind::Relay).count(), 12);
+        assert_eq!(plan.markers_of(MarkerKind::Sink).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Deterministic spatial clustering — the zone-partitioning substrate of
+//! the city-scale decomposition solver.
+//!
+//! Plain Lloyd k-means with farthest-first initialization. Everything is
+//! index-ordered and tie-broken toward the lowest index, so the same point
+//! set always produces the same assignment: no RNG, no `HashMap` iteration,
+//! byte-identical partitions across processes (the same determinism
+//! contract the rest of the pipeline keeps).
+
+/// Squared Euclidean distance between two points.
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+/// Index of the nearest center (ties toward the lowest center index).
+fn nearest(p: (f64, f64), centers: &[(f64, f64)]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, &ctr) in centers.iter().enumerate() {
+        let d = dist2(p, ctr);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Partitions `points` into (at most) `k` spatial clusters, returning one
+/// cluster index per point in `0..k'` where `k' <= k`.
+///
+/// Farthest-first seeding from point 0, then `iters` Lloyd rounds. A
+/// cluster emptied by a Lloyd round keeps its previous centroid (it can
+/// re-acquire points later); the returned labels are renumbered densely in
+/// order of first appearance, so callers can treat them as `0..num_zones`.
+///
+/// Deterministic by construction: no randomness, ties always resolve to
+/// the lowest index.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::cluster::kmeans;
+///
+/// let pts = vec![(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (11.0, 0.0)];
+/// let z = kmeans(&pts, 2, 10);
+/// assert_eq!(z[0], z[1]);
+/// assert_eq!(z[2], z[3]);
+/// assert_ne!(z[0], z[2]);
+/// ```
+pub fn kmeans(points: &[(f64, f64)], k: usize, iters: usize) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return vec![0; n];
+    }
+    if k >= n {
+        // one cluster per point
+        return (0..n).collect();
+    }
+    // Farthest-first initialization: start at point 0, then repeatedly take
+    // the point farthest from every chosen center (lowest index on ties).
+    let mut centers: Vec<(f64, f64)> = vec![points[0]];
+    let mut min_d: Vec<f64> = points.iter().map(|&p| dist2(p, points[0])).collect();
+    while centers.len() < k {
+        let mut far = 0usize;
+        let mut far_d = -1.0f64;
+        for (i, &d) in min_d.iter().enumerate() {
+            if d > far_d {
+                far_d = d;
+                far = i;
+            }
+        }
+        let c = points[far];
+        centers.push(c);
+        for (i, &p) in points.iter().enumerate() {
+            let d = dist2(p, c);
+            if d < min_d[i] {
+                min_d[i] = d;
+            }
+        }
+    }
+    // Lloyd rounds.
+    let mut assign: Vec<usize> = points.iter().map(|&p| nearest(p, &centers)).collect();
+    for _ in 0..iters {
+        let mut sum = vec![(0.0f64, 0.0f64); centers.len()];
+        let mut cnt = vec![0usize; centers.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let a = assign[i];
+            sum[a].0 += p.0;
+            sum[a].1 += p.1;
+            cnt[a] += 1;
+        }
+        for (c, ctr) in centers.iter_mut().enumerate() {
+            if cnt[c] > 0 {
+                *ctr = (sum[c].0 / cnt[c] as f64, sum[c].1 / cnt[c] as f64);
+            }
+            // empty cluster: keep the stale centroid — it may re-acquire
+            // points, and keeping it is deterministic
+        }
+        let next: Vec<usize> = points.iter().map(|&p| nearest(p, &centers)).collect();
+        if next == assign {
+            break;
+        }
+        assign = next;
+    }
+    renumber_dense(&assign)
+}
+
+/// Renumbers labels densely in order of first appearance (`[2,0,2,1]` →
+/// `[0,1,0,2]`), dropping empty label slots.
+fn renumber_dense(labels: &[usize]) -> Vec<usize> {
+    let max = labels.iter().copied().max().unwrap_or(0);
+    let mut map: Vec<Option<usize>> = vec![None; max + 1];
+    let mut next = 0usize;
+    labels
+        .iter()
+        .map(|&l| {
+            *map[l].get_or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// Number of distinct clusters in a dense assignment.
+pub fn num_clusters(assign: &[usize]) -> usize {
+    assign.iter().copied().max().map_or(0, |m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_two_obvious_blobs() {
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (0.5, 0.2),
+            (100.0, 100.0),
+            (101.0, 99.0),
+        ];
+        let z = kmeans(&pts, 2, 20);
+        assert_eq!(num_clusters(&z), 2);
+        assert_eq!(z[0], z[1]);
+        assert_eq!(z[1], z[2]);
+        assert_eq!(z[3], z[4]);
+        assert_ne!(z[0], z[3]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| ((i % 7) as f64 * 13.7, (i % 5) as f64 * 9.1))
+            .collect();
+        let a = kmeans(&pts, 4, 25);
+        let b = kmeans(&pts, 4, 25);
+        assert_eq!(a, b);
+        assert!(num_clusters(&a) <= 4);
+        assert_eq!(a.len(), pts.len());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(kmeans(&[], 3, 10).is_empty());
+        assert_eq!(kmeans(&[(1.0, 1.0)], 0, 10), vec![0]);
+        // k >= n: one cluster per point
+        assert_eq!(kmeans(&[(0.0, 0.0), (5.0, 5.0)], 5, 10), vec![0, 1]);
+        // identical points collapse to one cluster
+        let same = vec![(2.0, 2.0); 6];
+        let z = kmeans(&same, 3, 10);
+        assert!(num_clusters(&z) >= 1);
+        assert_eq!(z.len(), 6);
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64 * 3.0, 0.0)).collect();
+        let z = kmeans(&pts, 5, 30);
+        let k = num_clusters(&z);
+        for c in 0..k {
+            assert!(z.contains(&c), "label {} unused of {}", c, k);
+        }
+    }
+
+    #[test]
+    fn renumber_dense_orders_by_first_appearance() {
+        assert_eq!(renumber_dense(&[2, 0, 2, 1]), vec![0, 1, 0, 2]);
+        assert_eq!(renumber_dense(&[]), Vec::<usize>::new());
+    }
+}

@@ -24,6 +24,7 @@
 //! assert!(paths[0].cost() <= paths[1].cost());
 //! ```
 
+pub mod cluster;
 pub mod dijkstra;
 pub mod generate;
 pub mod graph;
@@ -31,6 +32,7 @@ pub mod oracle;
 pub mod paths;
 pub mod yen;
 
+pub use cluster::kmeans;
 pub use dijkstra::{distances_from, shortest_path, shortest_path_filtered, Bans};
 pub use graph::{DiGraph, EdgeId, NodeId};
 pub use oracle::{best_path_above, best_path_hop_bounded};

@@ -32,6 +32,10 @@
 #      a simulated worker death, and one poisoned delta — the binary
 #      itself exits non-zero on any panic, any missed deadline without a
 #      degraded/shed outcome, or served p99 over the deadline budget
+#  11. scale smoke: a small 4-building campus solved by spatial
+#      decomposition under a 30 s budget — the stitched design must pass
+#      verify_design on the full un-partitioned instance and land within
+#      10% of the monolithic solve's objective
 #
 # Run from the repository root:  ./scripts/tier1.sh
 set -euo pipefail
@@ -264,5 +268,21 @@ if ! STORM_MODE=smoke STORM_JSON= ./target/release/storm; then
     exit 1
 fi
 echo "tier1: service smoke OK"
+
+echo "== tier1: scale smoke (4-building campus, decomposed, 30 s budget) =="
+# The city-scale bench in smoke mode runs only the small campus: a
+# spatially decomposed solve (zone MILPs in parallel + gateway pricing +
+# backbone stitch) whose stitched design must re-verify on the full
+# un-partitioned instance and land within SCALE_SMOKE_GAP (10%) of the
+# monolithic resilient-ladder baseline. The binary gates itself and
+# exits non-zero on a missing/unverified design or an excessive gap.
+SCALE_SMOKE_JSON="$(mktemp)"
+trap 'rm -f "$T3_SMOKE_JSON" "$DUR_FRAME" "$DUR_FRAME.prev" "$DUR_FRAME.tmp" "$SCALE_SMOKE_JSON"' EXIT
+if ! SCALE_MODE=smoke SCALE_JSON="$SCALE_SMOKE_JSON" \
+    cargo run --release -q -p bench --bin scale; then
+    echo "tier1: scale smoke FAILED" >&2
+    exit 1
+fi
+echo "tier1: scale smoke OK"
 
 echo "tier1: OK"
